@@ -1,0 +1,102 @@
+// Ablations for the design choices called out in DESIGN.md §5:
+//   * penalization on vs off (the paper removes it, §3.1)
+//   * initial ssthresh 64 KB vs infinity on the cellular path (§3.1)
+//   * packet scheduler: lowest-RTT vs deficit round-robin
+//   * connection receive buffer 8 MB vs small (reorder-limited regime)
+#include "common.h"
+
+using namespace mpr;
+using namespace mpr::bench;
+
+int main() {
+  header("Ablation", "Design-choice ablations (2-path MPTCP, AT&T + home WiFi)");
+  const int n = reps(8);
+  const TestbedConfig tb = testbed_for(Carrier::kAtt);
+
+  {
+    std::printf("\n-- penalization (8 MB object, Sprint pairing, 256 KB rcvbuf) --\n");
+    // Penalization matters when the receive buffer binds and one path lags:
+    // use the 3G pairing with a modest buffer.
+    const TestbedConfig tb3g = testbed_for(Carrier::kSprint);
+    for (const bool pen : {false, true}) {
+      RunConfig rc;
+      rc.mode = PathMode::kMptcp2;
+      rc.file_bytes = 8 * kMB;
+      rc.receive_buffer = 256 * kKB;
+      rc.penalization = pen;
+      const auto rs = experiment::run_series(tb3g, rc, n, 2020);
+      double penalizations = 0;
+      for (const RunResult& r : rs) penalizations += static_cast<double>(r.penalizations);
+      std::printf("  penalization=%-5s mean=%-12s (avg %.1f penalizations/run)\n",
+                  pen ? "on" : "off", mean_s(rs).c_str(),
+                  penalizations / static_cast<double>(rs.size()));
+    }
+    std::printf("  (the paper removes penalization; with an ample 8 MB buffer it\n"
+                "   never triggers and only the small-buffer regime differs)\n");
+  }
+
+  {
+    std::printf("\n-- initial ssthresh on the cellular path (4 MB object, SP-AT&T) --\n");
+    for (const std::uint64_t ssthresh : {std::uint64_t{64 * kKB}, tcp::kInfiniteSsthresh}) {
+      RunConfig rc;
+      rc.mode = PathMode::kSingleCellular;
+      rc.file_bytes = 4 * kMB;
+      rc.ssthresh = ssthresh;
+      const auto rs = experiment::run_series(tb, rc, n, 2121);
+      const auto rtt = experiment::per_run_mean_rtt_ms(rs, true);
+      std::printf("  ssthresh=%-8s mean=%-12s cell RTT=%sms\n",
+                  ssthresh == tcp::kInfiniteSsthresh ? "inf" : "64KB", mean_s(rs).c_str(),
+                  pm(rtt, 0).c_str());
+    }
+    std::printf("  (unbounded slow start on the loss-free path inflates RTT —\n"
+                "   the very effect the paper capped ssthresh to avoid)\n");
+  }
+
+  {
+    std::printf("\n-- scheduler policy (1 MB object) --\n");
+    for (const core::SchedulerKind sched :
+         {core::SchedulerKind::kMinRtt, core::SchedulerKind::kRoundRobin}) {
+      RunConfig rc;
+      rc.mode = PathMode::kMptcp2;
+      rc.file_bytes = 1 * kMB;
+      rc.scheduler = sched;
+      const auto rs = experiment::run_series(tb, rc, n, 2222);
+      std::printf("  %-12s mean=%-12s cellular share=%.0f%%\n", to_string(sched).c_str(),
+                  mean_s(rs).c_str(), experiment::mean_cellular_fraction(rs) * 100.0);
+    }
+  }
+
+  {
+    std::printf("\n-- F-RTO (8 MB object, SP-Sprint: delay spikes fire spurious RTOs) --\n");
+    const TestbedConfig tb3g = testbed_for(Carrier::kSprint);
+    for (const bool frto : {false, true}) {
+      RunConfig rc;
+      rc.mode = PathMode::kSingleCellular;
+      rc.file_bytes = 8 * kMB;
+      rc.frto = frto;
+      const auto rs = experiment::run_series(tb3g, rc, n, 2424);
+      std::printf("  frto=%-5s mean=%-12s cell loss%%=%s\n", frto ? "on" : "off",
+                  mean_s(rs).c_str(),
+                  pm(experiment::loss_rates_percent(rs, true)).c_str());
+    }
+    std::printf("  (the paper's kernel shipped F-RTO disabled; a large share of the\n"
+                "   3G 'loss rate' is spurious retransmission it would have avoided)\n");
+  }
+
+  {
+    std::printf("\n-- connection receive buffer (8 MB object, Sprint pairing) --\n");
+    const TestbedConfig tb3g = testbed_for(Carrier::kSprint);
+    for (const std::uint64_t buf : {8 * kMB, 1 * kMB, 256 * kKB}) {
+      RunConfig rc;
+      rc.mode = PathMode::kMptcp2;
+      rc.file_bytes = 8 * kMB;
+      rc.receive_buffer = buf;
+      const auto rs = experiment::run_series(tb3g, rc, n, 2323);
+      std::printf("  rcvbuf=%-8s mean=%s\n", experiment::fmt_size(buf).c_str(),
+                  mean_s(rs).c_str());
+    }
+    std::printf("  (a small shared buffer stalls the fast path behind reordering —\n"
+                "   why the paper provisions 8 MB, §3.1)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Shared helpers for the reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper: it runs
+// the measurement campaign on the simulated testbed and prints the same
+// rows/series the paper reports, annotated with the paper's reference
+// values where the paper gives concrete numbers. Absolute values are not
+// expected to match (the substrate is a calibrated simulator); the shape
+// is the reproduction target (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/stats.h"
+#include "experiment/carriers.h"
+#include "experiment/run.h"
+#include "experiment/series.h"
+#include "experiment/table.h"
+
+namespace mpr::bench {
+
+using analysis::Ccdf;
+using analysis::Summary;
+using analysis::summarize;
+using experiment::Carrier;
+using experiment::MatrixEntry;
+using experiment::PathMode;
+using experiment::RunConfig;
+using experiment::RunResult;
+using experiment::TestbedConfig;
+
+inline constexpr std::uint64_t kKB = 1024;
+inline constexpr std::uint64_t kMB = 1024 * 1024;
+
+/// Repetitions per configuration; override with MPR_REPS for longer runs
+/// (the paper performs 20 per period and location).
+inline int reps(int default_reps) {
+  if (const char* env = std::getenv("MPR_REPS"); env != nullptr) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return default_reps;
+}
+
+inline TestbedConfig testbed_for(Carrier carrier, bool hotspot = false) {
+  TestbedConfig tb;
+  tb.wifi = hotspot ? netem::wifi_hotspot() : netem::wifi_home();
+  tb.cellular = experiment::carrier_profile(carrier);
+  return tb;
+}
+
+inline void header(const std::string& id, const std::string& title,
+                   const std::string& note = "") {
+  std::printf("\n==== %s: %s ====\n", id.c_str(), title.c_str());
+  if (!note.empty()) std::printf("     %s\n", note.c_str());
+}
+
+/// Box summary of completed download times, "min/q1/med/q3/max" in seconds.
+inline std::string box_s(const std::vector<RunResult>& rs) {
+  return experiment::fmt_box(experiment::download_time_summary(rs), "");
+}
+
+inline std::string mean_s(const std::vector<RunResult>& rs) {
+  const Summary s = experiment::download_time_summary(rs);
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.2f±%.2f", s.mean, s.stderr_mean);
+  return buf;
+}
+
+/// Prints one CCDF line: n, min, p50/p75/p90/p99 and max of the sample (ms).
+inline void print_ccdf_row(const std::string& label, const std::vector<double>& samples) {
+  if (samples.empty()) {
+    std::printf("%-22s (no samples)\n", label.c_str());
+    return;
+  }
+  const Ccdf c{samples};
+  std::printf(
+      "%-22s n=%-7zu min=%-7.1f p50=%-7.1f p75=%-7.1f p90=%-8.1f p99=%-8.1f max=%.1f\n",
+      label.c_str(), c.n(), c.sorted_samples().front(), c.value_at_probability(0.5),
+      c.value_at_probability(0.25), c.value_at_probability(0.1), c.value_at_probability(0.01),
+      c.sorted_samples().back());
+}
+
+/// Mean ± stderr string over a per-run statistic.
+inline std::string pm(const std::vector<double>& values, int precision = 2) {
+  const Summary s = summarize(values);
+  if (s.n == 0) return "-";
+  return analysis::format_pm(s.mean, s.stderr_mean, precision);
+}
+
+}  // namespace mpr::bench

@@ -1,0 +1,38 @@
+// Figure 7 — Coffee-shop hotspot: fraction of traffic carried by the
+// cellular path (coupled and uncoupled reno MPTCP).
+//
+// Paper shape: more traffic shifts to cellular than in the home-WiFi
+// setting (Fig 5) because the loaded public WiFi is unreliable and lossy.
+#include "common.h"
+
+using namespace mpr;
+using namespace mpr::bench;
+
+int main() {
+  header("Figure 7", "Coffee shop: cellular traffic fraction");
+  const int n = reps(12);
+  const std::vector<std::uint64_t> sizes{8 * kKB, 64 * kKB, 512 * kKB, 4 * kMB};
+
+  for (const bool hotspot : {true, false}) {
+    std::printf("\n%s WiFi (MP-2):\n%-10s", hotspot ? "Public hotspot" : "Home", "cc");
+    for (const std::uint64_t s : sizes) std::printf("%10s", experiment::fmt_size(s).c_str());
+    std::printf("\n");
+    for (const core::CcKind cc : {core::CcKind::kCoupled, core::CcKind::kReno}) {
+      std::printf("%-10s", core::to_string(cc).c_str());
+      for (const std::uint64_t size : sizes) {
+        RunConfig rc;
+        rc.mode = PathMode::kMptcp2;
+        rc.cc = cc;
+        rc.file_bytes = size;
+        const auto rs =
+            experiment::run_series(testbed_for(Carrier::kAtt, hotspot), rc, n, 770 + size);
+        std::printf("%9.0f%%", experiment::mean_cellular_fraction(rs) * 100.0);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\nShape check: hotspot rows >= home rows at each size (offload to the\n"
+              "reliable cellular path under WiFi contention); coupled favours\n"
+              "cellular more than reno as size grows.\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 11 — Infinite-backlog transfers (512 MB) with MP-2 / MP-4 under
+// uncoupled reno and coupled: confirms the MP-4 advantage persists when
+// slow-start effects are negligible.
+//
+// Paper: ~6-7 minute downloads, 10 iterations; MP-4 slightly faster than
+// MP-2. We run fewer iterations by default (override with MPR_REPS).
+#include "common.h"
+
+using namespace mpr;
+using namespace mpr::bench;
+
+int main() {
+  header("Figure 11", "Infinite backlog (512 MB) download time (seconds)",
+         "slow-start effects negligible at this size");
+  const int n = reps(3);
+  const TestbedConfig tb = testbed_for(Carrier::kAtt);
+
+  std::vector<MatrixEntry> entries;
+  for (const PathMode mode : {PathMode::kMptcp2, PathMode::kMptcp4}) {
+    for (const core::CcKind cc : {core::CcKind::kReno, core::CcKind::kCoupled}) {
+      RunConfig rc;
+      rc.mode = mode;
+      rc.cc = cc;
+      rc.file_bytes = 512 * kMB;
+      rc.timeout = sim::Duration::seconds(7200);
+      entries.push_back({to_string(mode) + "(" + core::to_string(cc) + ")", tb, rc});
+    }
+  }
+  const auto results = experiment::run_matrix(entries, n, 1212);
+  for (const MatrixEntry& e : entries) {
+    std::printf("  %-16s mean=%-12s box=%s\n", e.label.c_str(),
+                mean_s(results.at(e.label)).c_str(), box_s(results.at(e.label)).c_str());
+  }
+  std::printf("\nShape check: MP-4 <= MP-2 for both controllers even with slow start\n"
+              "amortized away; reno < coupled.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the simulator:
+// event queue, reorder buffer, congestion-controller math, and a full
+// end-to-end download as a macro smoke benchmark.
+#include <benchmark/benchmark.h>
+
+#include "core/coupled_cc.h"
+#include "core/reorder_buffer.h"
+#include "experiment/run.h"
+#include "sim/event_queue.h"
+#include "sim/simulation.h"
+
+namespace {
+
+using namespace mpr;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.schedule_at(sim::TimePoint::from_ns(static_cast<std::int64_t>((i * 2654435761u) % n)),
+                    [&sum, i] { sum += i; });
+    }
+    q.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(65536);
+
+void BM_EventQueueCancel(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::vector<sim::EventId> ids;
+    ids.reserve(4096);
+    for (int i = 0; i < 4096; ++i) {
+      ids.push_back(q.schedule_after(sim::Duration::nanos(i), [] {}));
+    }
+    for (const sim::EventId id : ids) q.cancel(id);
+    q.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_EventQueueCancel);
+
+void BM_ReorderBufferInOrder(benchmark::State& state) {
+  for (auto _ : state) {
+    core::ReorderBuffer rb{8 << 20};
+    for (std::uint64_t i = 0; i < 10000; ++i) {
+      rb.insert(i * 1400, 1400, sim::TimePoint::from_ns(static_cast<std::int64_t>(i)), 0);
+    }
+    benchmark::DoNotOptimize(rb.delivered_bytes());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_ReorderBufferInOrder);
+
+void BM_ReorderBufferInterleaved(benchmark::State& state) {
+  // Two-path interleave: every second segment arrives one slot early.
+  for (auto _ : state) {
+    core::ReorderBuffer rb{8 << 20};
+    for (std::uint64_t i = 0; i < 10000; i += 2) {
+      rb.insert((i + 1) * 1400, 1400, sim::TimePoint::from_ns(static_cast<std::int64_t>(i)), 1);
+      rb.insert(i * 1400, 1400, sim::TimePoint::from_ns(static_cast<std::int64_t>(i)), 0);
+    }
+    benchmark::DoNotOptimize(rb.ofo_samples().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_ReorderBufferInterleaved);
+
+class BenchFlow final : public tcp::FlowCc {
+ public:
+  double cwnd_bytes() const override { return cwnd_; }
+  void set_cwnd_bytes(double w) override { cwnd_ = w; }
+  std::uint64_t ssthresh_bytes() const override { return 1000; }
+  void set_ssthresh_bytes(std::uint64_t) override {}
+  std::uint32_t mss() const override { return 1400; }
+  sim::Duration srtt() const override { return sim::Duration::millis(50); }
+  std::uint64_t bytes_in_flight() const override { return 1 << 20; }
+
+ private:
+  double cwnd_{100 * 1400.0};
+};
+
+template <typename Cc>
+void BM_CongestionOnAck(benchmark::State& state) {
+  Cc cc;
+  BenchFlow flows[4];
+  for (auto& f : flows) cc.register_flow(f);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    cc.on_ack(flows[i++ & 3], 1400);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CongestionOnAck<tcp::NewRenoCc>);
+BENCHMARK(BM_CongestionOnAck<core::LiaCc>);
+BENCHMARK(BM_CongestionOnAck<core::OliaCc>);
+
+void BM_FullDownloadMptcp2(benchmark::State& state) {
+  const auto bytes = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    experiment::TestbedConfig tb;
+    tb.seed = seed++;
+    experiment::RunConfig rc;
+    rc.mode = experiment::PathMode::kMptcp2;
+    rc.file_bytes = bytes;
+    const experiment::RunResult r = experiment::run_download(tb, rc);
+    benchmark::DoNotOptimize(r.download_time_s);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_FullDownloadMptcp2)->Arg(512 * 1024)->Arg(4 << 20)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

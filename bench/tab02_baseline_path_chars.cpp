@@ -1,0 +1,64 @@
+// Table 2 — Baseline path characteristics: loss rate (%) and RTT (ms),
+// sample mean ± standard error of single-path TCP, per carrier and size.
+//
+// Paper reference values are printed beside the measurements.
+#include "common.h"
+
+using namespace mpr;
+using namespace mpr::bench;
+
+namespace {
+struct PaperRow {
+  const char* loss[4];
+  const char* rtt[4];
+};
+// Rows from Table 2 of the paper (64KB, 512KB, 2MB, 16MB).
+const PaperRow kPaperAtt{{"0.03", "0.04", "0.06", "0.31"},
+                         {"70.1", "104.9", "138.2", "126.0"}};
+const PaperRow kPaperVzw{{"~", "~", "0.31", "1.75"}, {"92.4", "204.7", "422.6", "624.7"}};
+const PaperRow kPaperSpr{{"0.37", "8.76", "3.93", "1.64"},
+                         {"381.3", "972.4", "1209.8", "703.8"}};
+const PaperRow kPaperWifi{{"0.43", "0.20", "2.02", "0.68"},
+                          {"26.8", "53.1", "56.8", "32.7"}};
+}  // namespace
+
+int main() {
+  header("Table 2", "Baseline single-path loss (%) and RTT (ms), mean±stderr",
+         "'paper' columns give the values reported in the paper");
+  const int n = reps(12);
+  const std::vector<std::uint64_t> sizes{64 * kKB, 512 * kKB, 2 * kMB, 16 * kMB};
+
+  struct Row {
+    std::string name;
+    TestbedConfig tb;
+    PathMode mode;
+    bool cellular;
+    const PaperRow* paper;
+  };
+  const std::vector<Row> rows{
+      {"AT&T", testbed_for(Carrier::kAtt), PathMode::kSingleCellular, true, &kPaperAtt},
+      {"Verizon", testbed_for(Carrier::kVerizon), PathMode::kSingleCellular, true, &kPaperVzw},
+      {"Sprint", testbed_for(Carrier::kSprint), PathMode::kSingleCellular, true, &kPaperSpr},
+      {"Comcast", testbed_for(Carrier::kAtt), PathMode::kSingleWifi, false, &kPaperWifi},
+  };
+
+  for (const Row& row : rows) {
+    std::printf("\n%s:\n  %-8s %-18s %-10s %-20s %-10s\n", row.name.c_str(), "size",
+                "loss% (measured)", "(paper)", "RTT ms (measured)", "(paper)");
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      RunConfig rc;
+      rc.mode = row.mode;
+      rc.file_bytes = sizes[i];
+      const auto rs = experiment::run_series(row.tb, rc, n, 777 + sizes[i]);
+      const auto loss = experiment::loss_rates_percent(rs, row.cellular);
+      const auto rtt = experiment::per_run_mean_rtt_ms(rs, row.cellular);
+      std::printf("  %-8s %-18s %-10s %-20s %-10s\n",
+                  experiment::fmt_size(sizes[i]).c_str(), pm(loss).c_str(),
+                  row.paper->loss[i], pm(rtt, 1).c_str(), row.paper->rtt[i]);
+    }
+  }
+  std::printf("\nShape check: cellular loss lowest on LTE, highest on Sprint; WiFi\n"
+              "RTT lowest and flat; cellular RTT grows with size (bufferbloat),\n"
+              "Sprint >> Verizon > AT&T.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Table 3 — Small-flow path characteristics: single-path loss (%) and RTT
+// (ms) for home WiFi and AT&T LTE at 8 KB .. 4 MB.
+#include "common.h"
+
+using namespace mpr;
+using namespace mpr::bench;
+
+int main() {
+  header("Table 3", "Small-flow single-path loss (%) and RTT (ms), mean±stderr",
+         "paper: WiFi loss 1.0-2.1%, RTT 22-39ms; AT&T loss ~0, RTT 61-141ms");
+  const int n = reps(12);
+  const std::vector<std::uint64_t> sizes{8 * kKB, 64 * kKB, 512 * kKB, 4 * kMB};
+  const char* paper_wifi_loss[] = {"1.0", "1.6", "1.4", "2.1"};
+  const char* paper_wifi_rtt[] = {"22.3", "38.7", "33.9", "23.9"};
+  const char* paper_att_loss[] = {"~", "~", "~", "~"};
+  const char* paper_att_rtt[] = {"60.8", "64.9", "73.2", "140.9"};
+
+  struct Row {
+    const char* name;
+    PathMode mode;
+    bool cellular;
+    const char** paper_loss;
+    const char** paper_rtt;
+  };
+  const Row rows[] = {
+      {"WiFi", PathMode::kSingleWifi, false, paper_wifi_loss, paper_wifi_rtt},
+      {"AT&T", PathMode::kSingleCellular, true, paper_att_loss, paper_att_rtt},
+  };
+
+  const TestbedConfig tb = testbed_for(Carrier::kAtt);
+  for (const Row& row : rows) {
+    std::printf("\n%s:\n  %-8s %-18s %-8s %-20s %-8s\n", row.name, "size",
+                "loss% (measured)", "(paper)", "RTT ms (measured)", "(paper)");
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      RunConfig rc;
+      rc.mode = row.mode;
+      rc.file_bytes = sizes[i];
+      const auto rs = experiment::run_series(tb, rc, n, 606 + sizes[i]);
+      std::printf("  %-8s %-18s %-8s %-20s %-8s\n",
+                  experiment::fmt_size(sizes[i]).c_str(),
+                  pm(experiment::loss_rates_percent(rs, row.cellular)).c_str(),
+                  row.paper_loss[i],
+                  pm(experiment::per_run_mean_rtt_ms(rs, row.cellular), 1).c_str(),
+                  row.paper_rtt[i]);
+    }
+  }
+  std::printf("\nShape check: WiFi ~1-2%% loss / flat ~20-40ms RTT; AT&T near-zero\n"
+              "loss / RTT growing with size.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Table 4 — Coffee-shop path characteristics: single-path loss (%) and RTT
+// (ms) of the public hotspot WiFi and AT&T LTE.
+#include "common.h"
+
+using namespace mpr;
+using namespace mpr::bench;
+
+int main() {
+  header("Table 4", "Coffee-shop single-path loss (%) and RTT (ms), mean±stderr",
+         "paper: hotspot WiFi loss 2.9-5.3%, RTT 21-44ms; AT&T loss ~0-0.1, RTT 61-81ms");
+  const int n = reps(12);
+  const std::vector<std::uint64_t> sizes{8 * kKB, 64 * kKB, 512 * kKB, 4 * kMB};
+  const char* paper_wifi_loss[] = {"5.3", "3.1", "4.1", "2.9"};
+  const char* paper_wifi_rtt[] = {"44.2", "26.0", "21.9", "21.3"};
+  const char* paper_att_loss[] = {"~", "~", "~", "0.1"};
+  const char* paper_att_rtt[] = {"62.4", "63.4", "61.4", "80.8"};
+
+  const TestbedConfig tb = testbed_for(Carrier::kAtt, /*hotspot=*/true);
+  struct Row {
+    const char* name;
+    PathMode mode;
+    bool cellular;
+    const char** ploss;
+    const char** prtt;
+  };
+  const Row rows[] = {
+      {"WiFi(hotspot)", PathMode::kSingleWifi, false, paper_wifi_loss, paper_wifi_rtt},
+      {"AT&T", PathMode::kSingleCellular, true, paper_att_loss, paper_att_rtt},
+  };
+  for (const Row& row : rows) {
+    std::printf("\n%s:\n  %-8s %-18s %-8s %-20s %-8s\n", row.name, "size",
+                "loss% (measured)", "(paper)", "RTT ms (measured)", "(paper)");
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      RunConfig rc;
+      rc.mode = row.mode;
+      rc.file_bytes = sizes[i];
+      const auto rs = experiment::run_series(tb, rc, n, 880 + sizes[i]);
+      std::printf("  %-8s %-18s %-8s %-20s %-8s\n",
+                  experiment::fmt_size(sizes[i]).c_str(),
+                  pm(experiment::loss_rates_percent(rs, row.cellular)).c_str(), row.ploss[i],
+                  pm(experiment::per_run_mean_rtt_ms(rs, row.cellular), 1).c_str(),
+                  row.prtt[i]);
+    }
+  }
+  std::printf("\nShape check: hotspot WiFi loss well above the home network's (~2x);\n"
+              "AT&T unaffected by the WiFi-side load.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Table 6 — MPTCP RTT and out-of-order delay (mean ± stderr) per carrier
+// pairing for 4-32 MB objects.
+#include "common.h"
+
+using namespace mpr;
+using namespace mpr::bench;
+
+int main() {
+  header("Table 6", "MPTCP per-path RTT and OFO delay, mean±stderr (ms)",
+         "paper RTT: AT&T 100-114, Verizon 228-399, Sprint 203-480, WiFi 29-56;\n"
+         "     paper OFO: AT&T 13-31, Verizon 37-68, Sprint 91-302");
+  const int n = reps(8);
+  const std::vector<std::uint64_t> sizes{4 * kMB, 8 * kMB, 16 * kMB, 32 * kMB};
+
+  std::printf("\nRTT (ms): cellular path of the MPTCP connection\n%-10s", "carrier");
+  for (const std::uint64_t s : sizes) std::printf("%16s", experiment::fmt_size(s).c_str());
+  std::printf("\n");
+
+  // Cache results; OFO rows reuse the same runs.
+  std::map<std::string, std::vector<std::vector<RunResult>>> cache;
+  for (const Carrier c : experiment::all_carriers()) {
+    auto& per_size = cache[to_string(c)];
+    std::printf("%-10s", to_string(c).c_str());
+    for (const std::uint64_t size : sizes) {
+      RunConfig rc;
+      rc.mode = PathMode::kMptcp2;
+      rc.file_bytes = size;
+      per_size.push_back(experiment::run_series(testbed_for(c), rc, n, 1515 + size));
+      std::printf("%16s", pm(experiment::per_run_mean_rtt_ms(per_size.back(), true), 1).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("%-10s", "WiFi");
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    std::printf("%16s",
+                pm(experiment::per_run_mean_rtt_ms(cache["AT&T"][i], false), 1).c_str());
+  }
+  std::printf("\n");
+
+  std::printf("\nOFO delay (ms): connection-level reordering wait\n%-10s", "carrier");
+  for (const std::uint64_t s : sizes) std::printf("%16s", experiment::fmt_size(s).c_str());
+  std::printf("\n");
+  for (const Carrier c : experiment::all_carriers()) {
+    std::printf("%-10s", to_string(c).c_str());
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      std::printf("%16s",
+                  pm(experiment::per_run_mean_ofo_ms(cache[to_string(c)][i]), 1).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\nShape check: RTT and OFO delay both ordered Sprint >= Verizon > AT&T;\n"
+              "WiFi RTT flat and smallest.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// pcap export: writes a PacketTrace as a standard libpcap capture file
+// (LINKTYPE_RAW / IPv4) so runs can be inspected in Wireshark/tcpdump —
+// mirroring the paper's tcpdump-based methodology in reverse.
+//
+// Payload bytes are not materialized (the simulator carries byte counts
+// only): each record contains the synthesized IPv4+TCP headers with the
+// true lengths in the IP header / pcap orig_len, like a snaplen-54 capture.
+// MPTCP options are not encoded (Wireshark sees plain TCP).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/trace.h"
+
+namespace mpr::analysis {
+
+struct PcapWriteOptions {
+  /// Which trace events to include. Default: deliveries (a tap at the
+  /// receiving hosts). kSend gives the sender-side capture; drops are
+  /// never written.
+  net::TraceEvent::Kind kind{net::TraceEvent::Kind::kDeliver};
+};
+
+/// Writes the capture; returns false on I/O failure.
+bool write_pcap(const PacketTrace& trace, const std::string& path,
+                const PcapWriteOptions& options = {});
+
+/// Minimal reader for round-trip validation (and as a parsing example).
+struct PcapPacket {
+  double timestamp_s{0};
+  std::uint32_t orig_len{0};
+  std::uint32_t src_ip{0};
+  std::uint32_t dst_ip{0};
+  std::uint16_t src_port{0};
+  std::uint16_t dst_port{0};
+  std::uint32_t seq{0};
+  std::uint8_t flags{0};
+};
+
+/// Returns nullopt if the file is missing or malformed.
+std::optional<std::vector<PcapPacket>> read_pcap(const std::string& path);
+
+}  // namespace mpr::analysis

@@ -1,0 +1,72 @@
+#include "analysis/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace mpr::analysis {
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+Summary summarize(std::vector<double> values) {
+  Summary s;
+  s.n = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  s.mean = sum / static_cast<double>(s.n);
+
+  double ss = 0.0;
+  for (const double v : values) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = s.n > 1 ? std::sqrt(ss / static_cast<double>(s.n - 1)) : 0.0;
+  s.stderr_mean = s.n > 0 ? s.stddev / std::sqrt(static_cast<double>(s.n)) : 0.0;
+
+  s.min = values.front();
+  s.max = values.back();
+  s.q1 = quantile_sorted(values, 0.25);
+  s.median = quantile_sorted(values, 0.50);
+  s.q3 = quantile_sorted(values, 0.75);
+  return s;
+}
+
+std::vector<double> to_millis(const std::vector<sim::Duration>& ds) {
+  std::vector<double> out;
+  out.reserve(ds.size());
+  for (const sim::Duration d : ds) out.push_back(d.to_millis());
+  return out;
+}
+
+Ccdf::Ccdf(std::vector<double> samples) : sorted_{std::move(samples)} {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ccdf::at(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  const auto greater = static_cast<std::size_t>(sorted_.end() - it);
+  return static_cast<double>(greater) / static_cast<double>(sorted_.size());
+}
+
+double Ccdf::value_at_probability(double p) const {
+  return quantile_sorted(sorted_, 1.0 - p);
+}
+
+std::string format_pm(double mean, double se, int precision) {
+  char buf[64];
+  if (std::fabs(mean) < 0.03 && std::fabs(se) < 0.03) return "~";
+  std::snprintf(buf, sizeof buf, "%.*f±%.*f", precision, mean, precision, se);
+  return buf;
+}
+
+}  // namespace mpr::analysis

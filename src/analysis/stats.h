@@ -1,0 +1,56 @@
+// Descriptive statistics used throughout the evaluation: the paper reports
+// sample mean ± standard error for tables, five-number box summaries for the
+// download-time figures, and CCDFs for the RTT / out-of-order-delay figures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace mpr::analysis {
+
+/// Five-number summary + moments of a sample.
+struct Summary {
+  std::size_t n{0};
+  double mean{0};
+  double stddev{0};
+  double stderr_mean{0};  // stddev / sqrt(n)
+  double min{0};
+  double q1{0};
+  double median{0};
+  double q3{0};
+  double max{0};
+};
+
+/// Computes the summary; `values` is copied and sorted internally.
+[[nodiscard]] Summary summarize(std::vector<double> values);
+
+/// Linear-interpolation quantile of a *sorted* sample, q in [0, 1].
+[[nodiscard]] double quantile_sorted(const std::vector<double>& sorted, double q);
+
+/// Convenience: durations in milliseconds.
+[[nodiscard]] std::vector<double> to_millis(const std::vector<sim::Duration>& ds);
+
+/// Empirical CCDF: P(X > x) evaluated at each distinct sample point.
+class Ccdf {
+ public:
+  explicit Ccdf(std::vector<double> samples);
+
+  [[nodiscard]] std::size_t n() const { return sorted_.size(); }
+  /// P(X > x).
+  [[nodiscard]] double at(double x) const;
+  /// Value exceeded with probability p (i.e. the (1-p)-quantile).
+  [[nodiscard]] double value_at_probability(double p) const;
+  [[nodiscard]] const std::vector<double>& sorted_samples() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// "mean ± stderr" with the given precision, or "~" for negligible values
+/// (the paper's notation for < 0.03%).
+[[nodiscard]] std::string format_pm(double mean, double se, int precision = 2);
+
+}  // namespace mpr::analysis

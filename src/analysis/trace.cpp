@@ -1,0 +1,22 @@
+#include "analysis/trace.h"
+
+namespace mpr::analysis {
+
+PacketTrace::PacketTrace(net::Network& network) {
+  network.add_observer([this](const net::TraceEvent& ev) {
+    TraceRecord r;
+    r.time = ev.time;
+    r.kind = ev.kind;
+    r.uid = ev.packet.uid;
+    r.flow = ev.packet.flow();
+    r.seq = ev.packet.tcp.seq;
+    r.ack = ev.packet.tcp.ack;
+    r.flags = ev.packet.tcp.flags;
+    r.payload = ev.packet.payload_bytes;
+    r.is_retransmit = ev.packet.is_retransmit;
+    r.dss = ev.packet.tcp.dss;
+    records_.push_back(r);
+  });
+}
+
+}  // namespace mpr::analysis

@@ -1,0 +1,46 @@
+// Packet capture, tcpdump-style.
+//
+// Subscribes to the network's trace events and stores a compact record per
+// packet send/delivery/drop. The TcptraceAnalyzer (trace_analyzer.h)
+// replays a capture to compute the paper's §3.3 metrics independently of
+// the endpoints' own counters — mirroring the paper's tcpdump+tcptrace
+// methodology and serving as cross-validation in the tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/network.h"
+
+namespace mpr::analysis {
+
+struct TraceRecord {
+  sim::TimePoint time;
+  net::TraceEvent::Kind kind{net::TraceEvent::Kind::kSend};
+  std::uint64_t uid{0};
+  net::FlowKey flow;
+  std::uint64_t seq{0};
+  std::uint64_t ack{0};
+  std::uint8_t flags{0};
+  std::uint32_t payload{0};
+  bool is_retransmit{false};
+  std::optional<net::DssOption> dss;
+};
+
+class PacketTrace {
+ public:
+  /// Starts capturing from `network` immediately. The trace must outlive
+  /// the network's use of the observer — in practice, keep it alongside the
+  /// testbed for the whole run.
+  explicit PacketTrace(net::Network& network);
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  void clear() { records_.clear(); }
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace mpr::analysis

@@ -1,0 +1,79 @@
+#include "analysis/trace_analyzer.h"
+
+#include <algorithm>
+#include <map>
+
+namespace mpr::analysis {
+
+namespace {
+struct PendingSegment {
+  std::uint64_t end{0};
+  sim::TimePoint sent;
+};
+}  // namespace
+
+TcptraceAnalyzer::TcptraceAnalyzer(const PacketTrace& trace) {
+  // Per data-direction working state.
+  struct Work {
+    FlowReport report;
+    // Segments awaiting their first covering ACK, keyed by start seq.
+    std::map<std::uint64_t, PendingSegment> pending;
+    // Sequence ranges ever retransmitted (Karn: exclude from sampling).
+    std::map<std::uint64_t, std::uint64_t> rexmitted;  // seq -> end
+  };
+  std::unordered_map<net::FlowKey, Work> work;
+
+  for (const TraceRecord& r : trace.records()) {
+    if (r.kind == net::TraceEvent::Kind::kSend && r.payload > 0) {
+      Work& w = work[r.flow];
+      w.report.flow = r.flow;
+      ++w.report.data_packets_sent;
+      if (r.is_retransmit) {
+        ++w.report.retransmitted_packets;
+        w.rexmitted[r.seq] = r.seq + r.payload;
+        w.pending.erase(r.seq);
+      } else if (!w.pending.contains(r.seq)) {
+        w.pending.emplace(r.seq, PendingSegment{r.seq + r.payload, r.time});
+      }
+    }
+
+    if (r.kind == net::TraceEvent::Kind::kDeliver) {
+      if (r.payload > 0) {
+        // Payload delivered to the receiver of this direction.
+        work[r.flow].report.flow = r.flow;
+        work[r.flow].report.bytes_delivered += r.payload;
+      }
+      if ((r.flags & net::kFlagAck) != 0) {
+        // This packet acknowledges the reverse direction.
+        const net::FlowKey data_dir = r.flow.reversed();
+        const auto it = work.find(data_dir);
+        if (it != work.end()) {
+          Work& w = it->second;
+          while (!w.pending.empty()) {
+            auto seg = w.pending.begin();
+            if (seg->second.end > r.ack) break;
+            const bool tainted =
+                std::any_of(w.rexmitted.begin(), w.rexmitted.end(), [&](const auto& kv) {
+                  return kv.first < seg->second.end && kv.second > seg->first;
+                });
+            if (!tainted) w.report.rtt_samples.push_back(r.time - seg->second.sent);
+            w.pending.erase(seg);
+          }
+        }
+      }
+    }
+  }
+
+  for (auto& [key, w] : work) {
+    if (w.report.data_packets_sent == 0 && w.report.bytes_delivered == 0) continue;
+    index_[key] = reports_.size();
+    reports_.push_back(std::move(w.report));
+  }
+}
+
+const FlowReport* TcptraceAnalyzer::flow(const net::FlowKey& key) const {
+  const auto it = index_.find(key);
+  return it == index_.end() ? nullptr : &reports_[it->second];
+}
+
+}  // namespace mpr::analysis

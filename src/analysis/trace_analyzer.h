@@ -1,0 +1,52 @@
+// tcptrace-style flow analysis over a packet capture.
+//
+// Computes, per unidirectional flow (identified by FlowKey of the data
+// direction), the paper's metrics from the capture alone:
+//  * loss rate  — retransmitted data packets / data packets sent (kSend
+//    events at the sender)
+//  * RTT samples — time from a data packet's send to the first delivered
+//    reverse-direction ACK with ack > segment end, excluding segments that
+//    were ever retransmitted (tcptrace's Karn-compliant estimator, §3.3)
+//  * bytes carried — payload bytes delivered to the receiver
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/trace.h"
+#include "sim/time.h"
+
+namespace mpr::analysis {
+
+struct FlowReport {
+  net::FlowKey flow;  // data direction: sender -> receiver
+  std::uint64_t data_packets_sent{0};
+  std::uint64_t retransmitted_packets{0};
+  std::uint64_t bytes_delivered{0};
+  std::vector<sim::Duration> rtt_samples;
+
+  [[nodiscard]] double loss_rate() const {
+    return data_packets_sent == 0 ? 0.0
+                                  : static_cast<double>(retransmitted_packets) /
+                                        static_cast<double>(data_packets_sent);
+  }
+};
+
+class TcptraceAnalyzer {
+ public:
+  /// Analyzes all flows that carried payload in `trace`.
+  explicit TcptraceAnalyzer(const PacketTrace& trace);
+
+  /// Reports for every data-carrying flow direction found.
+  [[nodiscard]] const std::vector<FlowReport>& flows() const { return reports_; }
+
+  /// Report for one direction, or nullptr if it carried no data.
+  [[nodiscard]] const FlowReport* flow(const net::FlowKey& key) const;
+
+ private:
+  std::vector<FlowReport> reports_;
+  std::unordered_map<net::FlowKey, std::size_t> index_;
+};
+
+}  // namespace mpr::analysis

@@ -1,0 +1,132 @@
+#include "app/http.h"
+
+#include <cassert>
+#include <utility>
+
+namespace mpr::app {
+
+// ---------------------------------------------------------------------------
+// MPTCP server.
+
+MptcpHttpServer::MptcpHttpServer(net::Host& host, std::uint16_t port, core::MptcpConfig config,
+                                 std::vector<net::IpAddr> advertise_extra,
+                                 ObjectSizeFn object_size)
+    : object_size_{std::move(object_size)} {
+  assert(object_size_);
+  server_ = std::make_unique<core::MptcpServer>(
+      host, port, config, std::move(advertise_extra), [this](core::MptcpConnection& conn) {
+        conns_.push_back(&conn);
+        states_.push_back(std::make_unique<PerConn>());
+        PerConn* st = states_.back().get();
+        conn.on_data = [this, st, &conn](std::uint64_t /*dsn*/, std::uint32_t len) {
+          st->bytes_received += len;
+          while (st->bytes_received >= (st->requests_served + 1) * kRequestBytes) {
+            const std::uint64_t size = object_size_(st->requests_served);
+            ++st->requests_served;
+            conn.write(size);
+          }
+        };
+      });
+}
+
+// ---------------------------------------------------------------------------
+// MPTCP client.
+
+MptcpHttpClient::MptcpHttpClient(net::Host& host, core::MptcpConfig config,
+                                 std::vector<net::IpAddr> local_addrs, net::SocketAddr server)
+    : host_{host} {
+  const std::uint64_t key =
+      static_cast<std::uint64_t>(host.sim().rng("mptcp.client.key").uniform_int(1, INT64_MAX));
+  conn_ = std::make_unique<core::MptcpConnection>(host, config, std::move(local_addrs), server,
+                                                  key);
+  conn_->on_data = [this](std::uint64_t /*dsn*/, std::uint32_t len) {
+    if (!in_flight_) return;
+    received_bytes_ += len;
+    if (received_bytes_ >= expected_bytes_) {
+      in_flight_ = false;
+      current_.complete_time = host_.sim().now();
+      if (done_) done_(current_);
+    }
+  };
+}
+
+void MptcpHttpClient::get(std::uint64_t bytes, std::function<void(const FetchResult&)> done) {
+  assert(!in_flight_);
+  in_flight_ = true;
+  done_ = std::move(done);
+  current_ = FetchResult{};
+  current_.request_time = host_.sim().now();
+  current_.bytes = bytes;
+  expected_bytes_ = received_bytes_ + bytes;
+
+  if (!connected_) {
+    connected_ = true;
+    conn_->connect();
+    current_.first_syn_time = conn_->first_syn_time();
+  } else {
+    current_.first_syn_time = current_.request_time;
+  }
+  conn_->write(kRequestBytes);
+}
+
+// ---------------------------------------------------------------------------
+// Plain TCP server.
+
+TcpHttpServer::TcpHttpServer(net::Host& host, std::uint16_t port, tcp::TcpConfig config,
+                             ObjectSizeFn object_size)
+    : object_size_{std::move(object_size)} {
+  assert(object_size_);
+  acceptor_ = std::make_unique<tcp::TcpAcceptor>(
+      host, port, config, [this](tcp::TcpEndpoint& ep) {
+        states_.push_back(std::make_unique<PerConn>());
+        PerConn* st = states_.back().get();
+        ep.on_data = [this, st, &ep](std::uint64_t /*offset*/, std::uint32_t len) {
+          st->bytes_received += len;
+          while (st->bytes_received >= (st->requests_served + 1) * kRequestBytes) {
+            const std::uint64_t size = object_size_(st->requests_served);
+            ++st->requests_served;
+            ep.write(size);
+          }
+        };
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Plain TCP client.
+
+TcpHttpClient::TcpHttpClient(net::Host& host, tcp::TcpConfig config, net::IpAddr local_addr,
+                             net::SocketAddr server)
+    : host_{host} {
+  ep_ = std::make_unique<tcp::TcpEndpoint>(
+      host, net::SocketAddr{local_addr, host.ephemeral_port()}, server, config);
+  ep_->on_data = [this](std::uint64_t /*offset*/, std::uint32_t len) {
+    if (!in_flight_) return;
+    received_bytes_ += len;
+    if (received_bytes_ >= expected_bytes_) {
+      in_flight_ = false;
+      current_.complete_time = host_.sim().now();
+      if (done_) done_(current_);
+    }
+  };
+}
+
+void TcpHttpClient::get(std::uint64_t bytes, std::function<void(const FetchResult&)> done) {
+  assert(!in_flight_);
+  in_flight_ = true;
+  done_ = std::move(done);
+  current_ = FetchResult{};
+  current_.request_time = host_.sim().now();
+  current_.bytes = bytes;
+  expected_bytes_ = received_bytes_ + bytes;
+
+  if (!connected_) {
+    connected_ = true;
+    ep_->connect();
+    current_.first_syn_time = ep_->metrics().first_syn_time;
+  } else {
+    current_.first_syn_time = current_.request_time;
+  }
+  ep_->write(kRequestBytes);
+}
+
+}  // namespace mpr::app

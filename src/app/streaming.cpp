@@ -1,0 +1,38 @@
+#include "app/streaming.h"
+
+namespace mpr::app {
+
+StreamingSession::StreamingSession(sim::Simulation& sim, MptcpHttpClient& client,
+                                   StreamingWorkload workload)
+    : sim_{sim}, client_{client}, workload_{workload} {}
+
+void StreamingSession::start() {
+  client_.get(workload_.prefetch_bytes, [this](const FetchResult& r) {
+    result_.prefetch_time = r.download_time();
+    if (workload_.blocks == 0) {
+      result_.completed = true;
+      finished_ = true;
+      return;
+    }
+    sim_.after(workload_.period, [this] { fetch_block(); });
+  });
+}
+
+void StreamingSession::fetch_block() {
+  client_.get(workload_.block_bytes, [this](const FetchResult& r) {
+    result_.block_times.push_back(r.fetch_time());
+    if (r.fetch_time() > workload_.period) ++result_.late_blocks;
+    if (++blocks_done_ >= workload_.blocks) {
+      result_.completed = true;
+      finished_ = true;
+      return;
+    }
+    // Next block one period after this one *started* (steady playback),
+    // or immediately if we are already behind.
+    const sim::Duration wait = workload_.period - r.fetch_time();
+    sim_.after(wait > sim::Duration::zero() ? wait : sim::Duration::zero(),
+               [this] { fetch_block(); });
+  });
+}
+
+}  // namespace mpr::app

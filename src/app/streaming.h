@@ -1,0 +1,79 @@
+// Video-streaming workload (paper §6, Table 7).
+//
+// Models the measured Netflix/YouTube pattern: one large prefetch download
+// followed by periodic fixed-size block downloads over a persistent
+// connection. The client reports per-block fetch latency and "late blocks"
+// — blocks that were not finished by the time the next period started,
+// i.e. moments a real player would approach rebuffering.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "app/http.h"
+#include "sim/simulation.h"
+
+namespace mpr::app {
+
+struct StreamingWorkload {
+  std::uint64_t prefetch_bytes{15 * 1024 * 1024};
+  std::uint64_t block_bytes{1800 * 1024};
+  sim::Duration period{sim::Duration::from_seconds(10.2)};
+  std::uint64_t blocks{10};
+
+  /// Paper Table 7 presets.
+  [[nodiscard]] static StreamingWorkload netflix_android() {
+    return StreamingWorkload{.prefetch_bytes = 40'600 * 1024ull,
+                             .block_bytes = 5'200 * 1024ull,
+                             .period = sim::Duration::from_seconds(72.0),
+                             .blocks = 6};
+  }
+  [[nodiscard]] static StreamingWorkload netflix_ipad() {
+    return StreamingWorkload{.prefetch_bytes = 15'000 * 1024ull,
+                             .block_bytes = 1'800 * 1024ull,
+                             .period = sim::Duration::from_seconds(10.2),
+                             .blocks = 20};
+  }
+  [[nodiscard]] static StreamingWorkload youtube() {
+    return StreamingWorkload{.prefetch_bytes = 12 * 1024 * 1024ull,
+                             .block_bytes = 512 * 1024ull,
+                             .period = sim::Duration::from_seconds(5.0),
+                             .blocks = 30};
+  }
+
+  /// The i-th object requested on the connection (0 = prefetch).
+  [[nodiscard]] std::uint64_t object_size(std::uint64_t index) const {
+    return index == 0 ? prefetch_bytes : block_bytes;
+  }
+};
+
+struct StreamingResult {
+  sim::Duration prefetch_time;                 // first SYN -> prefetch complete
+  std::vector<sim::Duration> block_times;      // per-block fetch latency
+  std::uint64_t late_blocks{0};                // fetch latency > period
+  bool completed{false};
+};
+
+/// Drives a streaming session over an MPTCP HTTP client. The result is
+/// available once `finished()`.
+class StreamingSession {
+ public:
+  StreamingSession(sim::Simulation& sim, MptcpHttpClient& client, StreamingWorkload workload);
+
+  void start();
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] const StreamingResult& result() const { return result_; }
+
+ private:
+  void fetch_block();
+
+  sim::Simulation& sim_;
+  MptcpHttpClient& client_;
+  StreamingWorkload workload_;
+  StreamingResult result_;
+  std::uint64_t blocks_done_{0};
+  bool finished_{false};
+};
+
+}  // namespace mpr::app

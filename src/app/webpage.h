@@ -1,0 +1,94 @@
+// Web-page load workload (the paper's introductory motivation: "most Web
+// downloads are of objects no more than one MB in size, although the tail
+// of the size distribution is large").
+//
+// A page is a main document followed by a set of embedded objects with a
+// heavy-tailed (Pareto) size distribution, fetched sequentially over one
+// persistent connection (HTTP/1.1 without pipelining, as wget would).
+// The page-load time is the first SYN to the last byte of the last object.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "app/http.h"
+#include "sim/rng.h"
+
+namespace mpr::app {
+
+struct WebPage {
+  std::uint64_t document_bytes{60 * 1024};
+  std::vector<std::uint64_t> object_bytes;
+
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    std::uint64_t total = document_bytes;
+    for (const std::uint64_t b : object_bytes) total += b;
+    return total;
+  }
+  [[nodiscard]] std::size_t request_count() const { return 1 + object_bytes.size(); }
+
+  /// The i-th object requested on the connection (0 = the document).
+  [[nodiscard]] std::uint64_t object_size(std::uint64_t index) const {
+    if (index == 0) return document_bytes;
+    const std::size_t i = static_cast<std::size_t>(index) - 1;
+    return i < object_bytes.size() ? object_bytes[i] : 0;
+  }
+
+  /// Samples a page: `objects` embedded resources with Pareto(alpha 1.3,
+  /// min 6 KB) sizes truncated at 4 MB — small median, heavy tail, per the
+  /// paper's characterization of Web traffic.
+  [[nodiscard]] static WebPage sample(sim::Rng& rng, int objects = 12) {
+    WebPage page;
+    page.document_bytes = static_cast<std::uint64_t>(rng.uniform(30, 90)) * 1024;
+    for (int i = 0; i < objects; ++i) {
+      const double size = std::min(rng.pareto(1.3, 6.0 * 1024), 4.0 * 1024 * 1024);
+      page.object_bytes.push_back(static_cast<std::uint64_t>(size));
+    }
+    return page;
+  }
+};
+
+struct PageLoadResult {
+  bool completed{false};
+  sim::Duration load_time;                    // first SYN -> last byte
+  std::vector<sim::Duration> object_times;    // per-request fetch latency
+};
+
+/// Drives a page load over an MPTCP HTTP client; result valid once
+/// finished(). The server must be configured with the same WebPage's
+/// object_size function.
+class PageLoadSession {
+ public:
+  PageLoadSession(MptcpHttpClient& client, WebPage page)
+      : client_{client}, page_{std::move(page)} {}
+
+  void start() { fetch_next(); }
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] const PageLoadResult& result() const { return result_; }
+
+ private:
+  void fetch_next() {
+    client_.get(page_.object_size(index_), [this](const FetchResult& r) {
+      if (index_ == 0) first_syn_ = r.first_syn_time;
+      result_.object_times.push_back(r.fetch_time());
+      ++index_;
+      if (index_ >= page_.request_count()) {
+        result_.completed = true;
+        result_.load_time = r.complete_time - first_syn_;
+        finished_ = true;
+        return;
+      }
+      fetch_next();
+    });
+  }
+
+  MptcpHttpClient& client_;
+  WebPage page_;
+  std::uint64_t index_{0};
+  sim::TimePoint first_syn_;
+  PageLoadResult result_;
+  bool finished_{false};
+};
+
+}  // namespace mpr::app

@@ -1,0 +1,435 @@
+#include "core/connection.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mpr::core {
+
+namespace {
+/// MinRtt: prefer established subflows with the lowest smoothed RTT.
+class MinRttScheduler final : public PacketScheduler {
+ public:
+  void order(std::vector<MptcpSubflow*>& subflows) override {
+    std::stable_sort(subflows.begin(), subflows.end(),
+                     [](const MptcpSubflow* a, const MptcpSubflow* b) {
+                       return a->srtt() < b->srtt();
+                     });
+  }
+};
+
+/// Deficit round-robin: the subflow that has been assigned the fewest
+/// data-level bytes pulls first, spreading data evenly regardless of RTT.
+class RoundRobinScheduler final : public PacketScheduler {
+ public:
+  void order(std::vector<MptcpSubflow*>& subflows) override {
+    std::stable_sort(subflows.begin(), subflows.end(),
+                     [](const MptcpSubflow* a, const MptcpSubflow* b) {
+                       return a->scheduled_bytes() < b->scheduled_bytes();
+                     });
+  }
+};
+}  // namespace
+
+std::unique_ptr<PacketScheduler> make_scheduler(SchedulerKind k) {
+  if (k == SchedulerKind::kRoundRobin) return std::make_unique<RoundRobinScheduler>();
+  return std::make_unique<MinRttScheduler>();
+}
+
+// ---------------------------------------------------------------------------
+// Construction.
+
+MptcpConnection::MptcpConnection(net::Host& host, MptcpConfig config,
+                                 std::vector<net::IpAddr> local_addrs, net::SocketAddr server,
+                                 std::uint64_t local_key)
+    : host_{host},
+      config_{config},
+      role_{Role::kClient},
+      local_addrs_{std::move(local_addrs)},
+      server_primary_{server},
+      local_key_{local_key},
+      cc_{make_congestion_control(config.cc)},
+      scheduler_{make_scheduler(config.scheduler)},
+      rx_{config.receive_buffer} {
+  assert(!local_addrs_.empty());
+  known_remote_addrs_.push_back(server.addr);
+  rx_.on_deliver = [this](std::uint64_t dsn, std::uint32_t len) {
+    if (on_data) on_data(dsn, len);
+    if (data_fin_dsn_ && rx_.rcv_nxt() >= *data_fin_dsn_ && !data_fin_delivered_) {
+      data_fin_delivered_ = true;
+      if (on_data_fin) on_data_fin();
+    }
+  };
+}
+
+MptcpConnection::MptcpConnection(net::Host& host, MptcpConfig config,
+                                 const net::Packet& capable_syn,
+                                 std::vector<net::IpAddr> advertise, std::uint64_t local_key)
+    : host_{host},
+      config_{config},
+      role_{Role::kServer},
+      server_primary_{net::SocketAddr{capable_syn.dst, capable_syn.tcp.dst_port}},
+      advertise_addrs_{std::move(advertise)},
+      local_key_{local_key},
+      cc_{make_congestion_control(config.cc)},
+      scheduler_{make_scheduler(config.scheduler)},
+      rx_{config.receive_buffer} {
+  assert(capable_syn.tcp.mp_capable.has_value());
+  remote_key_ = capable_syn.tcp.mp_capable->sender_key;
+  known_remote_addrs_.push_back(capable_syn.src);
+  local_addrs_ = host.addrs();
+  first_syn_time_ = host.sim().now();
+  rx_.on_deliver = [this](std::uint64_t dsn, std::uint32_t len) {
+    if (on_data) on_data(dsn, len);
+    if (data_fin_dsn_ && rx_.rcv_nxt() >= *data_fin_dsn_ && !data_fin_delivered_) {
+      data_fin_delivered_ = true;
+      if (on_data_fin) on_data_fin();
+    }
+  };
+
+  MptcpSubflow& sf =
+      create_subflow(net::SocketAddr{capable_syn.dst, capable_syn.tcp.dst_port},
+                     net::SocketAddr{capable_syn.src, capable_syn.tcp.src_port},
+                     MptcpSubflow::HandshakeKind::kCapable);
+  sf.accept_syn(capable_syn);
+}
+
+std::uint64_t MptcpConnection::token() const {
+  // Token identifying this connection in MP_JOIN: derived from the client's
+  // key (the real protocol hashes it; identity is enough here).
+  return role_ == Role::kClient ? local_key_ : remote_key_;
+}
+
+std::vector<MptcpSubflow*> MptcpConnection::subflows() const {
+  std::vector<MptcpSubflow*> out;
+  out.reserve(subflows_.size());
+  for (const auto& sf : subflows_) out.push_back(sf.get());
+  return out;
+}
+
+MptcpSubflow& MptcpConnection::create_subflow(net::SocketAddr local, net::SocketAddr remote,
+                                              MptcpSubflow::HandshakeKind kind, bool backup) {
+  const auto id = static_cast<std::uint8_t>(subflows_.size());
+  subflows_.push_back(std::make_unique<MptcpSubflow>(host_, local, remote, config_.subflow,
+                                                     cc_.get(), *this, id, kind, backup));
+  return *subflows_.back();
+}
+
+bool MptcpConnection::is_backup_addr(net::IpAddr addr) const {
+  return std::find(config_.backup_local_addrs.begin(), config_.backup_local_addrs.end(),
+                   addr) != config_.backup_local_addrs.end();
+}
+
+bool MptcpConnection::any_healthy_regular_subflow() const {
+  for (const auto& sf : subflows_) {
+    if (!sf->backup() && sf->healthy()) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Client establishment.
+
+void MptcpConnection::connect() {
+  assert(role_ == Role::kClient);
+  assert(subflows_.empty());
+  first_syn_time_ = host_.sim().now();
+
+  MptcpSubflow& initial =
+      create_subflow(net::SocketAddr{local_addrs_[0], host_.ephemeral_port()}, server_primary_,
+                     MptcpSubflow::HandshakeKind::kCapable);
+  initial.connect();
+
+  if (config_.simultaneous_syns) {
+    joins_started_ = true;
+    // §4.1.2: fire all JOIN SYNs at the same instant as the first SYN.
+    for (std::size_t i = 1; i < local_addrs_.size(); ++i) {
+      MptcpSubflow& sf =
+          create_subflow(net::SocketAddr{local_addrs_[i], host_.ephemeral_port()},
+                         server_primary_, MptcpSubflow::HandshakeKind::kJoin,
+                         is_backup_addr(local_addrs_[i]));
+      sf.connect();
+    }
+  }
+}
+
+void MptcpConnection::start_delayed_joins() {
+  for (std::size_t i = 1; i < local_addrs_.size(); ++i) {
+    MptcpSubflow& sf = create_subflow(net::SocketAddr{local_addrs_[i], host_.ephemeral_port()},
+                                      server_primary_, MptcpSubflow::HandshakeKind::kJoin,
+                                      is_backup_addr(local_addrs_[i]));
+    sf.connect();
+  }
+}
+
+void MptcpConnection::join_towards(net::IpAddr remote_addr) {
+  for (const net::IpAddr local : local_addrs_) {
+    MptcpSubflow& sf = create_subflow(net::SocketAddr{local, host_.ephemeral_port()},
+                                      net::SocketAddr{remote_addr, server_primary_.port},
+                                      MptcpSubflow::HandshakeKind::kJoin,
+                                      is_backup_addr(local));
+    sf.connect();
+  }
+}
+
+void MptcpConnection::on_remote_add_addr(net::IpAddr addr) {
+  if (role_ != Role::kClient) return;
+  if (std::find(known_remote_addrs_.begin(), known_remote_addrs_.end(), addr) !=
+      known_remote_addrs_.end()) {
+    return;
+  }
+  known_remote_addrs_.push_back(addr);
+  join_towards(addr);
+}
+
+void MptcpConnection::accept_join(const net::Packet& join_syn) {
+  assert(role_ == Role::kServer);
+  const bool backup = join_syn.tcp.mp_join && join_syn.tcp.mp_join->backup;
+  MptcpSubflow& sf = create_subflow(net::SocketAddr{join_syn.dst, join_syn.tcp.dst_port},
+                                    net::SocketAddr{join_syn.src, join_syn.tcp.src_port},
+                                    MptcpSubflow::HandshakeKind::kJoin, backup);
+  sf.accept_syn(join_syn);
+}
+
+void MptcpConnection::on_subflow_established(MptcpSubflow& sf) {
+  if (!established_) {
+    established_ = true;
+    if (role_ == Role::kServer && !advertise_addrs_.empty()) {
+      add_addr_pending_ = true;
+      sf.send_ack_now();  // carry the ADD_ADDR option promptly
+    }
+    if (on_established) on_established();
+  }
+  if (role_ == Role::kServer && sf.kind() == MptcpSubflow::HandshakeKind::kJoin) {
+    // A join reached one of our advertised addresses: stop re-advertising.
+    for (const net::IpAddr a : advertise_addrs_) {
+      if (sf.local().addr == a) add_addr_pending_ = false;
+    }
+  }
+  pump_all();
+}
+
+void MptcpConnection::decorate_extra(MptcpSubflow& sf, net::Packet& p) {
+  if (add_addr_pending_ && sf.kind() == MptcpSubflow::HandshakeKind::kCapable &&
+      !advertise_addrs_.empty()) {
+    p.tcp.add_addr = net::AddAddrOption{advertise_addrs_[0], 1};
+  }
+  if (remove_addr_pending_) p.tcp.remove_addr = net::RemoveAddrOption{*remove_addr_pending_};
+  // Keep signalling DATA_FIN until the peer has seen the whole stream
+  // (receivers treat repeats as idempotent).
+  if (data_fin_sent_ && app_pending_ == 0 && p.tcp.dss) {
+    p.tcp.dss->data_fin = true;
+    if (p.tcp.dss->length == 0) p.tcp.dss->dsn = data_snd_nxt_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Data plane: send side.
+
+void MptcpConnection::write(std::uint64_t bytes) {
+  app_pending_ += bytes;
+  pump_all();
+}
+
+void MptcpConnection::shutdown_data() {
+  data_fin_requested_ = true;
+  pump_all();
+  // If there was no data left to ride on, signal DATA_FIN on a bare ACK of
+  // the first established subflow (it is also attached to every subsequent
+  // outgoing packet until acknowledged, so a lost ACK is harmless).
+  if (app_pending_ == 0) {
+    data_fin_sent_ = true;
+    for (const auto& sf : subflows_) {
+      if (sf->state() == tcp::TcpState::kEstablished ||
+          sf->state() == tcp::TcpState::kCloseWait) {
+        sf->send_ack_now();
+        break;
+      }
+    }
+    maybe_close_subflows();
+  }
+}
+
+void MptcpConnection::on_data_fin_signal(std::uint64_t fin_dsn) {
+  data_fin_dsn_ = fin_dsn;
+  if (!data_fin_delivered_ && rx_.rcv_nxt() >= fin_dsn) {
+    data_fin_delivered_ = true;
+    if (on_data_fin) on_data_fin();
+  }
+}
+
+void MptcpConnection::pump_all() {
+  if (pumping_all_) return;
+  pumping_all_ = true;
+  std::vector<MptcpSubflow*> order = subflows();
+  std::erase_if(order, [](const MptcpSubflow* sf) {
+    return sf->state() != tcp::TcpState::kEstablished &&
+           sf->state() != tcp::TcpState::kCloseWait;
+  });
+  scheduler_->order(order);
+  for (MptcpSubflow* sf : order) sf->pump();
+  pumping_all_ = false;
+}
+
+std::optional<tcp::TcpEndpoint::Chunk> MptcpConnection::next_chunk_for(
+    MptcpSubflow& sf, std::uint32_t max_len) {
+  // Backup subflows (RFC 6824 B bit) stay idle while any regular subflow
+  // is operational.
+  if (sf.backup() && any_healthy_regular_subflow()) return std::nullopt;
+
+  // Reinjections of stranded data first (never back onto the origin unless
+  // it is the only subflow).
+  for (auto it = reinject_queue_.begin(); it != reinject_queue_.end(); ++it) {
+    if (it->origin == sf.id() && subflows_.size() > 1) continue;
+    tcp::TcpEndpoint::Chunk chunk;
+    chunk.dsn = it->dsn;
+    if (it->len <= max_len) {
+      chunk.len = it->len;
+      reinject_queue_.erase(it);
+    } else {
+      chunk.len = max_len;
+      it->dsn += max_len;
+      it->len -= max_len;
+    }
+    ++reinjected_chunks_;
+    return chunk;
+  }
+
+  if (app_pending_ == 0) return std::nullopt;
+
+  // Connection-level flow control against the peer's advertised window.
+  const std::uint64_t data_in_flight = data_snd_nxt_ - data_una_;
+  if (data_in_flight >= peer_window_) {
+    if (config_.penalization) maybe_penalize();
+    return std::nullopt;
+  }
+
+  const std::uint64_t room = peer_window_ - data_in_flight;
+  const auto len = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>({max_len, app_pending_, room}));
+  if (len == 0) return std::nullopt;
+
+  tcp::TcpEndpoint::Chunk chunk;
+  chunk.len = len;
+  chunk.dsn = data_snd_nxt_;
+  data_snd_nxt_ += len;
+  app_pending_ -= len;
+  if (data_fin_requested_ && app_pending_ == 0) {
+    chunk.data_fin = true;
+    data_fin_sent_ = true;
+  }
+  return chunk;
+}
+
+void MptcpConnection::on_data_ack(std::uint64_t data_ack) {
+  if (data_ack <= data_una_) return;
+  maybe_start_joins();
+  data_una_ = data_ack;
+  maybe_close_subflows();
+  pump_all();
+}
+
+void MptcpConnection::maybe_close_subflows() {
+  if (subflows_closed_ || !data_fin_sent_) return;
+  if (data_una_ < data_snd_nxt_) return;
+  // All data acknowledged at the data level: close subflows cleanly.
+  subflows_closed_ = true;
+  for (const auto& sf : subflows_) sf->shutdown_write();
+}
+
+void MptcpConnection::strand(MptcpSubflow& sf) {
+  for (const auto& m : sf.outstanding_mappings()) {
+    if (m.dsn + m.len <= data_una_) continue;  // already delivered
+    if (!reinjected_dsns_.insert(m.dsn).second) continue;
+    reinject_queue_.push_back(Reinject{m.dsn, m.len, sf.id()});
+  }
+}
+
+void MptcpConnection::on_subflow_rto(MptcpSubflow& sf) {
+  if (!config_.reinjection) return;
+  // A single timeout can be an isolated loss; reinject once a subflow has
+  // stalled repeatedly (two consecutive backoffs).
+  if (sf.metrics().timeouts < 2) return;
+  strand(sf);
+  if (!reinject_queue_.empty()) pump_all();
+}
+
+// ---------------------------------------------------------------------------
+// Mobility / path management (extensions).
+
+void MptcpConnection::set_subflow_backup(net::IpAddr local_addr, bool backup) {
+  for (const auto& sf : subflows_) {
+    if (sf->local().addr == local_addr) sf->set_backup_flag(backup);
+  }
+  pump_all();
+}
+
+void MptcpConnection::remove_local_addr(net::IpAddr addr) {
+  for (const auto& sf : subflows_) {
+    if (sf->local().addr != addr || sf->state() == tcp::TcpState::kClosed) continue;
+    strand(*sf);
+    sf->abort();
+  }
+  std::erase(local_addrs_, addr);
+  // Withdraw the address; the option stays attached (idempotent) so a lost
+  // ACK cannot strand the peer's subflows.
+  remove_addr_pending_ = addr;
+  for (const auto& sf : subflows_) {
+    if (sf->state() == tcp::TcpState::kEstablished) {
+      sf->send_ack_now();
+      break;
+    }
+  }
+  pump_all();
+}
+
+void MptcpConnection::on_remote_remove_addr(net::IpAddr addr) {
+  for (const auto& sf : subflows_) {
+    if (sf->remote().addr != addr || sf->state() == tcp::TcpState::kClosed) continue;
+    strand(*sf);
+    sf->abort();
+  }
+  std::erase(known_remote_addrs_, addr);
+  pump_all();
+}
+
+void MptcpConnection::maybe_penalize() {
+  // Sender-side penalization (Raiciu et al., NSDI'12): when the connection
+  // is receive-window limited, halve the window of the slowest subflow with
+  // outstanding data — it is the one holding up the data stream. Rate-limit
+  // to once per that subflow's RTT.
+  MptcpSubflow* victim = nullptr;
+  for (const auto& sf : subflows_) {
+    if (sf->state() != tcp::TcpState::kEstablished) continue;
+    if (sf->outstanding_mappings().empty()) continue;
+    if (victim == nullptr || sf->srtt() > victim->srtt()) victim = sf.get();
+  }
+  if (victim == nullptr) return;
+  const sim::TimePoint now = host_.sim().now();
+  const auto it = last_penalty_.find(victim);
+  if (it != last_penalty_.end() && now - it->second < victim->srtt()) return;
+  last_penalty_[victim] = now;
+  victim->set_ssthresh_bytes(static_cast<std::uint64_t>(victim->cwnd_bytes() / 2.0));
+  victim->set_cwnd_bytes(victim->cwnd_bytes() / 2.0);
+  ++penalizations_;
+}
+
+// ---------------------------------------------------------------------------
+// Data plane: receive side.
+
+void MptcpConnection::on_subflow_data(MptcpSubflow& sf, std::uint64_t dsn, std::uint32_t len,
+                                      bool data_fin) {
+  maybe_start_joins();
+  rx_.insert(dsn, len, host_.sim().now(), sf.id());
+  if (data_fin) on_data_fin_signal(dsn + len);
+}
+
+void MptcpConnection::maybe_start_joins() {
+  // Delayed-SYN path management (see MptcpConfig::simultaneous_syns): the
+  // client opens additional subflows once data-level activity confirms the
+  // peer speaks MPTCP.
+  if (joins_started_ || role_ != Role::kClient) return;
+  joins_started_ = true;
+  start_delayed_joins();
+}
+
+}  // namespace mpr::core

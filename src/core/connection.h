@@ -1,0 +1,198 @@
+// MPTCP connection.
+//
+// Owns the subflows, the shared congestion controller, the packet scheduler,
+// the data-level send state and the connection-level receive reorder buffer.
+// Implements the establishment behaviour the paper studies:
+//
+//  * delayed SYN (standard, RFC 6824): the initial subflow is established
+//    with MP_CAPABLE over the default path (WiFi); additional subflows join
+//    with MP_JOIN only after the first subflow is established. The server
+//    advertises its second interface with ADD_ADDR, and the client (being
+//    behind a NAT) initiates the joins (§2.2.1).
+//  * simultaneous SYN (the paper's §4.1.2 modification): the client fires
+//    the MP_CAPABLE SYN and all MP_JOIN SYNs at the same instant.
+//
+// Also implements optional sender-side penalization of reorder-inducing
+// subflows (the Linux mechanism the paper removes, §3.1) and opportunistic
+// reinjection of data stranded on a repeatedly timed-out subflow.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/coupled_cc.h"
+#include "core/reorder_buffer.h"
+#include "core/scheduler.h"
+#include "core/subflow.h"
+#include "net/host.h"
+
+namespace mpr::core {
+
+struct MptcpConfig {
+  tcp::TcpConfig subflow;
+  CcKind cc{CcKind::kCoupled};
+  SchedulerKind scheduler{SchedulerKind::kMinRtt};
+  /// Fire MP_JOIN SYNs together with the initial SYN (§4.1.2). The default
+  /// (delayed) mode mirrors the kernel path manager the paper measured:
+  /// joins start only once the connection is confirmed by data-level
+  /// activity on the initial subflow (first DSS-carrying segment received),
+  /// which postpones the second path by roughly one request/response
+  /// exchange — the cost Fig 8 quantifies.
+  bool simultaneous_syns{false};
+  /// Linux receive-buffer penalization; the paper removes it (§3.1).
+  bool penalization{false};
+  /// Reinject stranded data of a subflow after repeated RTOs.
+  bool reinjection{true};
+  std::uint64_t receive_buffer{8 * 1024 * 1024};
+  /// Client interfaces to join in backup mode (RFC 6824 B bit): their
+  /// subflows carry data only while no regular subflow is healthy —
+  /// the "backup mode" of Paasch et al. that trades throughput for the
+  /// second radio's energy (§6/§7 of the paper).
+  std::vector<net::IpAddr> backup_local_addrs;
+};
+
+class MptcpConnection {
+ public:
+  enum class Role { kClient, kServer };
+
+  /// Client-side connection. `local_addrs[0]` is the default path (WiFi in
+  /// the paper); the rest join per the configured SYN mode.
+  MptcpConnection(net::Host& host, MptcpConfig config, std::vector<net::IpAddr> local_addrs,
+                  net::SocketAddr server, std::uint64_t local_key);
+
+  /// Server-side connection, built from an MP_CAPABLE SYN. `advertise`
+  /// lists extra server addresses to announce via ADD_ADDR (empty for the
+  /// 2-path experiments).
+  MptcpConnection(net::Host& host, MptcpConfig config, const net::Packet& capable_syn,
+                  std::vector<net::IpAddr> advertise, std::uint64_t local_key);
+
+  MptcpConnection(const MptcpConnection&) = delete;
+  MptcpConnection& operator=(const MptcpConnection&) = delete;
+
+  // --- Application interface ---------------------------------------------
+  /// Client only: establish the connection (sends the first SYN now).
+  void connect();
+  /// Queue `bytes` of application data for transmission.
+  void write(std::uint64_t bytes);
+  /// Mark the end of the data stream; DATA_FIN rides on the last chunk and
+  /// subflows are closed once everything is acknowledged.
+  void shutdown_data();
+
+  std::function<void(std::uint64_t dsn, std::uint32_t len)> on_data;
+  std::function<void()> on_established;
+  std::function<void()> on_data_fin;
+
+  /// Mobility / path-management API (extensions; §6 of the paper).
+  /// Re-prioritizes every subflow on `local_addr` and signals the peer
+  /// with MP_PRIO.
+  void set_subflow_backup(net::IpAddr local_addr, bool backup);
+  /// The interface went away: kills its subflows, reinjects their stranded
+  /// data onto the survivors, and withdraws the address with REMOVE_ADDR.
+  void remove_local_addr(net::IpAddr addr);
+
+  // --- Introspection -------------------------------------------------------
+  [[nodiscard]] bool established() const { return established_; }
+  [[nodiscard]] Role role() const { return role_; }
+  [[nodiscard]] std::uint64_t token() const;
+  [[nodiscard]] sim::TimePoint first_syn_time() const { return first_syn_time_; }
+  [[nodiscard]] const ReorderBuffer& rx() const { return rx_; }
+  [[nodiscard]] std::vector<MptcpSubflow*> subflows() const;
+  [[nodiscard]] std::size_t subflow_count() const { return subflows_.size(); }
+  [[nodiscard]] std::uint64_t data_bytes_sent() const { return data_snd_nxt_; }
+  [[nodiscard]] std::uint64_t penalizations() const { return penalizations_; }
+  [[nodiscard]] std::uint64_t reinjected_chunks() const { return reinjected_chunks_; }
+  [[nodiscard]] const MptcpConfig& config() const { return config_; }
+
+  // --- Module-internal API (called by MptcpSubflow and MptcpServer) --------
+  std::optional<tcp::TcpEndpoint::Chunk> next_chunk_for(MptcpSubflow& sf,
+                                                        std::uint32_t max_len);
+  void on_subflow_data(MptcpSubflow& sf, std::uint64_t dsn, std::uint32_t len, bool data_fin);
+  /// DATA_FIN carried without payload (on a bare ACK). `fin_dsn` is the
+  /// data-level sequence just past the end of the stream.
+  void on_data_fin_signal(std::uint64_t fin_dsn);
+  void on_data_ack(std::uint64_t data_ack);
+  void on_subflow_established(MptcpSubflow& sf);
+  void on_subflow_rto(MptcpSubflow& sf);
+  void on_remote_add_addr(net::IpAddr addr);
+  void on_remote_remove_addr(net::IpAddr addr);
+  void on_priority_change() { pump_all(); }
+  void note_peer_window(std::uint64_t wnd) { peer_window_ = wnd; }
+  void decorate_extra(MptcpSubflow& sf, net::Packet& p);
+  [[nodiscard]] std::uint64_t data_rcv_nxt() const { return rx_.rcv_nxt(); }
+  [[nodiscard]] std::uint64_t conn_window() const { return rx_.window(); }
+  [[nodiscard]] std::uint64_t local_key() const { return local_key_; }
+  [[nodiscard]] std::uint64_t remote_key() const { return remote_key_; }
+  void set_remote_key(std::uint64_t k) { remote_key_ = k; }
+  /// Server only: attach an MP_JOIN subflow from an incoming SYN.
+  void accept_join(const net::Packet& join_syn);
+
+ private:
+  MptcpSubflow& create_subflow(net::SocketAddr local, net::SocketAddr remote,
+                               MptcpSubflow::HandshakeKind kind, bool backup = false);
+  [[nodiscard]] bool is_backup_addr(net::IpAddr addr) const;
+  [[nodiscard]] bool any_healthy_regular_subflow() const;
+  void maybe_start_joins();
+  void start_delayed_joins();
+  void join_towards(net::IpAddr remote_addr);
+  void pump_all();
+  /// Queues every not-yet-data-acked mapping of `sf` for reinjection.
+  void strand(MptcpSubflow& sf);
+  void maybe_penalize();
+  void maybe_close_subflows();
+
+  net::Host& host_;
+  MptcpConfig config_;
+  Role role_;
+  std::vector<net::IpAddr> local_addrs_;
+  net::SocketAddr server_primary_;
+  std::vector<net::IpAddr> known_remote_addrs_;
+  std::vector<net::IpAddr> advertise_addrs_;  // server: extra NICs to announce
+  bool add_addr_pending_{false};
+  std::optional<net::IpAddr> remove_addr_pending_;
+
+  std::uint64_t local_key_{0};
+  std::uint64_t remote_key_{0};
+
+  std::unique_ptr<tcp::CongestionControl> cc_;
+  std::unique_ptr<PacketScheduler> scheduler_;
+  std::vector<std::unique_ptr<MptcpSubflow>> subflows_;
+
+  // Receive side.
+  ReorderBuffer rx_;
+  std::optional<std::uint64_t> data_fin_dsn_;
+  bool data_fin_delivered_{false};
+
+  // Send side.
+  std::uint64_t data_snd_nxt_{0};
+  std::uint64_t data_una_{0};
+  std::uint64_t app_pending_{0};
+  bool data_fin_requested_{false};
+  bool data_fin_sent_{false};
+  std::uint64_t peer_window_{8 * 1024 * 1024};
+  struct Reinject {
+    std::uint64_t dsn{0};
+    std::uint32_t len{0};
+    std::uint8_t origin{0};
+  };
+  std::deque<Reinject> reinject_queue_;
+  std::unordered_set<std::uint64_t> reinjected_dsns_;
+  std::uint64_t reinjected_chunks_{0};
+
+  bool established_{false};
+  bool joins_started_{false};
+  bool subflows_closed_{false};
+  sim::TimePoint first_syn_time_;
+
+  // Penalization bookkeeping.
+  std::unordered_map<const MptcpSubflow*, sim::TimePoint> last_penalty_;
+  std::uint64_t penalizations_{0};
+  bool pumping_all_{false};
+};
+
+}  // namespace mpr::core

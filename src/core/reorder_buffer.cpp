@@ -1,0 +1,44 @@
+#include "core/reorder_buffer.h"
+
+#include <algorithm>
+
+namespace mpr::core {
+
+bool ReorderBuffer::insert(std::uint64_t dsn, std::uint32_t len, sim::TimePoint arrival,
+                           std::uint8_t subflow_id) {
+  if (len == 0) return true;
+  if (dsn + len <= rcv_nxt_ || held_.contains(dsn)) {
+    ++duplicates_;
+    return true;
+  }
+
+  if (dsn == rcv_nxt_) {
+    // In-order on arrival: zero out-of-order delay.
+    samples_.push_back(OfoSample{sim::Duration::zero(), subflow_id, len});
+    delivered_bytes_ += len;
+    rcv_nxt_ += len;
+    if (on_deliver) on_deliver(dsn, len);
+    // Drain anything this unblocked.
+    while (!held_.empty()) {
+      auto it = held_.begin();
+      if (it->first != rcv_nxt_) break;
+      const Held& h = it->second;
+      samples_.push_back(OfoSample{arrival - h.arrival, h.subflow_id, h.len});
+      delivered_bytes_ += h.len;
+      rcv_nxt_ += h.len;
+      buffered_bytes_ -= h.len;
+      if (on_deliver) on_deliver(it->first, h.len);
+      held_.erase(it);
+    }
+    return true;
+  }
+
+  // Out of order: hold it.
+  if (buffered_bytes_ + len > capacity_) return false;
+  held_.emplace(dsn, Held{len, arrival, subflow_id});
+  buffered_bytes_ += len;
+  max_buffered_ = std::max(max_buffered_, buffered_bytes_);
+  return true;
+}
+
+}  // namespace mpr::core

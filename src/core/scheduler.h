@@ -1,0 +1,35 @@
+// MPTCP packet scheduling policy.
+//
+// The scheduler decides which subflow new connection-level data is offered
+// to first. The Linux implementation the paper measured uses lowest-RTT
+// (among subflows with congestion-window space); round-robin is provided as
+// an ablation. Scheduling is expressed as a pumping order: subflows earlier
+// in the order pull chunks from the connection first.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mpr::core {
+
+class MptcpSubflow;
+
+enum class SchedulerKind { kMinRtt, kRoundRobin };
+
+[[nodiscard]] inline std::string to_string(SchedulerKind k) {
+  return k == SchedulerKind::kMinRtt ? "minrtt" : "roundrobin";
+}
+
+class PacketScheduler {
+ public:
+  virtual ~PacketScheduler() = default;
+  /// Reorders `subflows` into pumping order (most preferred first).
+  virtual void order(std::vector<MptcpSubflow*>& subflows) = 0;
+};
+
+[[nodiscard]] std::unique_ptr<PacketScheduler> make_scheduler(SchedulerKind k);
+
+}  // namespace mpr::core

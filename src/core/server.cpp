@@ -1,0 +1,42 @@
+#include "core/server.h"
+
+#include <utility>
+
+namespace mpr::core {
+
+MptcpServer::MptcpServer(net::Host& host, std::uint16_t port, MptcpConfig config,
+                         std::vector<net::IpAddr> advertise_extra, AcceptFn on_accept)
+    : host_{host},
+      config_{config},
+      advertise_extra_{std::move(advertise_extra)},
+      on_accept_{std::move(on_accept)},
+      key_rng_{host.sim().rng("mptcp.server.keys")} {
+  listener_ = std::make_unique<tcp::TcpListener>(
+      host, port, [this](const net::Packet& syn) { on_syn(syn); });
+}
+
+void MptcpServer::on_syn(const net::Packet& syn) {
+  if (syn.tcp.mp_join) {
+    const auto it = by_token_.find(syn.tcp.mp_join->token);
+    if (it == by_token_.end()) {
+      // Join for an unknown connection (e.g. simultaneous SYN racing ahead
+      // of the MP_CAPABLE SYN): drop; the client retransmits.
+      ++rejected_joins_;
+      return;
+    }
+    it->second->accept_join(syn);
+    return;
+  }
+  if (!syn.tcp.mp_capable) return;  // plain TCP fallback is out of scope
+
+  const std::uint64_t server_key =
+      static_cast<std::uint64_t>(key_rng_.uniform_int(1, INT64_MAX));
+  auto conn = std::make_unique<MptcpConnection>(host_, config_, syn, advertise_extra_,
+                                                server_key);
+  MptcpConnection& ref = *conn;
+  by_token_[ref.token()] = &ref;
+  connections_.push_back(std::move(conn));
+  if (on_accept_) on_accept_(ref);
+}
+
+}  // namespace mpr::core

@@ -1,0 +1,42 @@
+// MPTCP server: accepts MP_CAPABLE SYNs as new connections and routes
+// MP_JOIN SYNs to the connection identified by their token.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/connection.h"
+#include "tcp/listener.h"
+
+namespace mpr::core {
+
+class MptcpServer {
+ public:
+  using AcceptFn = std::function<void(MptcpConnection&)>;
+
+  /// `advertise_extra`: additional server addresses announced via ADD_ADDR
+  /// (enables 4-path MPTCP when the client also has two interfaces).
+  MptcpServer(net::Host& host, std::uint16_t port, MptcpConfig config,
+              std::vector<net::IpAddr> advertise_extra, AcceptFn on_accept);
+
+  [[nodiscard]] std::size_t connection_count() const { return connections_.size(); }
+  [[nodiscard]] std::uint64_t rejected_joins() const { return rejected_joins_; }
+
+ private:
+  void on_syn(const net::Packet& syn);
+
+  net::Host& host_;
+  MptcpConfig config_;
+  std::vector<net::IpAddr> advertise_extra_;
+  AcceptFn on_accept_;
+  std::unique_ptr<tcp::TcpListener> listener_;
+  std::vector<std::unique_ptr<MptcpConnection>> connections_;
+  std::unordered_map<std::uint64_t, MptcpConnection*> by_token_;
+  sim::Rng key_rng_;
+  std::uint64_t rejected_joins_{0};
+};
+
+}  // namespace mpr::core

@@ -1,0 +1,82 @@
+#include "core/subflow.h"
+
+#include "core/connection.h"
+
+namespace mpr::core {
+
+MptcpSubflow::MptcpSubflow(net::Host& host, net::SocketAddr local, net::SocketAddr remote,
+                           tcp::TcpConfig config, tcp::CongestionControl* cc,
+                           MptcpConnection& conn, std::uint8_t id, HandshakeKind kind,
+                           bool backup)
+    : TcpEndpoint{host, local, remote, config, cc},
+      conn_{conn},
+      id_{id},
+      kind_{kind},
+      backup_{backup} {}
+
+std::optional<tcp::TcpEndpoint::Chunk> MptcpSubflow::next_chunk(std::uint32_t max_len) {
+  auto chunk = conn_.next_chunk_for(*this, max_len);
+  if (chunk) scheduled_bytes_ += chunk->len;
+  return chunk;
+}
+
+void MptcpSubflow::decorate_outgoing(net::Packet& p) {
+  if (p.tcp.has(net::kFlagSyn)) {
+    if (kind_ == HandshakeKind::kCapable) {
+      net::MpCapableOption cap;
+      cap.sender_key = conn_.local_key();
+      if (p.tcp.has(net::kFlagAck)) cap.receiver_key = conn_.remote_key();
+      p.tcp.mp_capable = cap;
+    } else {
+      p.tcp.mp_join = net::MpJoinOption{conn_.token(), id_, backup_};
+    }
+    return;  // no DSS on SYNs
+  }
+  if (!p.tcp.dss) p.tcp.dss = net::DssOption{};
+  p.tcp.dss->data_ack = conn_.data_rcv_nxt();
+  p.tcp.dss->has_data_ack = true;
+  if (prio_dirty_) p.tcp.mp_prio = net::MpPrioOption{backup_};
+  conn_.decorate_extra(*this, p);
+}
+
+void MptcpSubflow::process_options(const net::Packet& p) {
+  conn_.note_peer_window(p.tcp.wnd);
+  if (p.tcp.mp_capable && p.tcp.has(net::kFlagSyn) && p.tcp.has(net::kFlagAck)) {
+    conn_.set_remote_key(p.tcp.mp_capable->sender_key);
+  }
+  if (p.tcp.add_addr) conn_.on_remote_add_addr(p.tcp.add_addr->addr);
+  if (p.tcp.remove_addr) conn_.on_remote_remove_addr(p.tcp.remove_addr->addr);
+  if (p.tcp.mp_prio && p.tcp.mp_prio->backup != backup_) {
+    backup_ = p.tcp.mp_prio->backup;
+    conn_.on_priority_change();
+  }
+  if (p.tcp.dss && p.tcp.dss->has_data_ack) conn_.on_data_ack(p.tcp.dss->data_ack);
+  if (p.tcp.dss && p.tcp.dss->data_fin && p.payload_bytes == 0) {
+    conn_.on_data_fin_signal(p.tcp.dss->dsn);
+  }
+}
+
+void MptcpSubflow::handle_established() { conn_.on_subflow_established(*this); }
+
+void MptcpSubflow::handle_data(std::uint64_t /*offset*/, std::uint32_t len,
+                               const std::optional<net::DssOption>& dss) {
+  if (dss && dss->length > 0) {
+    conn_.on_subflow_data(*this, dss->dsn, len, dss->data_fin);
+  }
+  // Payload without a DSS mapping cannot be placed in the data stream; the
+  // real protocol would fall back to single-path TCP. Our senders always
+  // attach mappings, so this is unreachable in practice.
+}
+
+void MptcpSubflow::handle_rto() { conn_.on_subflow_rto(*this); }
+
+std::uint64_t MptcpSubflow::advertised_window() const { return conn_.conn_window(); }
+
+void MptcpSubflow::set_backup_flag(bool backup) {
+  if (backup_ == backup) return;
+  backup_ = backup;
+  prio_dirty_ = true;
+  if (state() == tcp::TcpState::kEstablished) send_ack_now();
+}
+
+}  // namespace mpr::core

@@ -1,0 +1,35 @@
+// Carrier enumeration mapping to the calibrated access profiles (Table 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netem/access.h"
+
+namespace mpr::experiment {
+
+enum class Carrier { kAtt, kVerizon, kSprint };
+
+[[nodiscard]] inline std::string to_string(Carrier c) {
+  switch (c) {
+    case Carrier::kAtt: return "AT&T";
+    case Carrier::kVerizon: return "Verizon";
+    case Carrier::kSprint: return "Sprint";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline netem::AccessProfile carrier_profile(Carrier c) {
+  switch (c) {
+    case Carrier::kAtt: return netem::att_lte();
+    case Carrier::kVerizon: return netem::verizon_lte();
+    case Carrier::kSprint: return netem::sprint_evdo();
+  }
+  return netem::att_lte();
+}
+
+[[nodiscard]] inline std::vector<Carrier> all_carriers() {
+  return {Carrier::kAtt, Carrier::kVerizon, Carrier::kSprint};
+}
+
+}  // namespace mpr::experiment

@@ -1,0 +1,199 @@
+#include "experiment/run.h"
+
+#include <memory>
+
+#include "app/http.h"
+#include "netem/energy.h"
+
+namespace mpr::experiment {
+
+std::string to_string(PathMode m) {
+  switch (m) {
+    case PathMode::kSingleWifi: return "SP-WiFi";
+    case PathMode::kSingleCellular: return "SP-Cell";
+    case PathMode::kMptcp2: return "MP-2";
+    case PathMode::kMptcp4: return "MP-4";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Maps the client-side address of a subflow to the result bucket.
+PathStats& bucket(RunResult& r, net::IpAddr client_side_addr) {
+  return client_side_addr == kClientWifiAddr ? r.wifi : r.cellular;
+}
+
+void collect_mptcp(RunResult& result, core::MptcpConnection& client_conn,
+                   core::MptcpConnection* server_conn) {
+  for (core::MptcpSubflow* sf : client_conn.subflows()) {
+    PathStats& ps = bucket(result, sf->local().addr);
+    ps.bytes_received += sf->metrics().bytes_received;
+    ++ps.subflows;
+  }
+  if (server_conn != nullptr) {
+    for (core::MptcpSubflow* sf : server_conn->subflows()) {
+      PathStats& ps = bucket(result, sf->remote().addr);
+      ps.data_packets_sent += sf->metrics().data_packets_sent;
+      ps.rexmit_packets += sf->metrics().rexmit_packets;
+      for (const sim::Duration d : sf->metrics().rtt_samples) {
+        ps.rtt_ms.push_back(d.to_millis());
+      }
+    }
+    result.penalizations = server_conn->penalizations() + client_conn.penalizations();
+    result.reinjections = server_conn->reinjected_chunks() + client_conn.reinjected_chunks();
+  }
+  for (const core::OfoSample& s : client_conn.rx().ofo_samples()) {
+    result.ofo_ms.push_back(s.delay.to_millis());
+  }
+}
+
+}  // namespace
+
+RunResult run_download(const TestbedConfig& testbed_cfg, const RunConfig& run_cfg) {
+  Testbed tb{testbed_cfg};
+  sim::Simulation& sim = tb.sim();
+
+  tcp::TcpConfig tcfg;
+  tcfg.initial_ssthresh = run_cfg.ssthresh;
+  tcfg.receive_buffer = run_cfg.receive_buffer;
+  tcfg.frto_enabled = run_cfg.frto;
+
+  const bool multipath =
+      run_cfg.mode == PathMode::kMptcp2 || run_cfg.mode == PathMode::kMptcp4;
+  const bool use_wifi = run_cfg.mode != PathMode::kSingleCellular;
+  const bool use_cell = run_cfg.mode != PathMode::kSingleWifi;
+
+  const net::SocketAddr server_sock{kServerAddr1, kHttpPort};
+  const auto object_size = [&run_cfg](std::uint64_t) { return run_cfg.file_bytes; };
+
+  RunResult result;
+  bool done = false;
+  app::FetchResult fetch;
+
+  // Device radio energy accounting: airtime of the client's own packets at
+  // the (possibly run-scaled) access rates.
+  netem::EnergyMeter wifi_meter{tb.wifi_access().profile().power};
+  netem::EnergyMeter cell_meter{tb.cell_access().profile().power};
+  const auto airtime = [](double rate_bps, std::uint32_t wire_bytes) {
+    return sim::Duration::from_seconds(static_cast<double>(wire_bytes) * 8.0 / rate_bps);
+  };
+  tb.network().add_observer([&](const net::TraceEvent& ev) {
+    if (ev.kind == net::TraceEvent::Kind::kSend) {
+      if (ev.packet.src == kClientWifiAddr) {
+        wifi_meter.note_activity(
+            ev.time, airtime(tb.wifi_access().profile().up_rate_bps, ev.packet.wire_bytes()));
+      } else if (ev.packet.src == kClientCellAddr) {
+        cell_meter.note_activity(
+            ev.time, airtime(tb.cell_access().profile().up_rate_bps, ev.packet.wire_bytes()));
+      }
+    } else if (ev.kind == net::TraceEvent::Kind::kDeliver) {
+      if (ev.packet.dst == kClientWifiAddr) {
+        wifi_meter.note_activity(
+            ev.time,
+            airtime(tb.wifi_access().profile().down_rate_bps, ev.packet.wire_bytes()));
+      } else if (ev.packet.dst == kClientCellAddr) {
+        cell_meter.note_activity(
+            ev.time,
+            airtime(tb.cell_access().profile().down_rate_bps, ev.packet.wire_bytes()));
+      }
+    }
+  });
+
+  // Servers/clients are held in unique_ptrs so both stacks share one code path.
+  std::unique_ptr<app::MptcpHttpServer> mp_server;
+  std::unique_ptr<app::MptcpHttpClient> mp_client;
+  std::unique_ptr<app::TcpHttpServer> sp_server;
+  std::unique_ptr<app::TcpHttpClient> sp_client;
+
+  if (multipath) {
+    core::MptcpConfig mcfg;
+    mcfg.subflow = tcfg;
+    mcfg.cc = run_cfg.cc;
+    mcfg.scheduler = run_cfg.scheduler;
+    mcfg.simultaneous_syns = run_cfg.simultaneous_syns;
+    mcfg.penalization = run_cfg.penalization;
+    mcfg.receive_buffer = run_cfg.receive_buffer;
+    if (run_cfg.cellular_backup) mcfg.backup_local_addrs.push_back(kClientCellAddr);
+
+    std::vector<net::IpAddr> advertise;
+    if (run_cfg.mode == PathMode::kMptcp4) advertise.push_back(kServerAddr2);
+    mp_server = std::make_unique<app::MptcpHttpServer>(tb.server(), kHttpPort, mcfg, advertise,
+                                                       object_size);
+    // WiFi first: it is the default path over which MPTCP initiates (§4).
+    mp_client = std::make_unique<app::MptcpHttpClient>(
+        tb.client(), mcfg, std::vector<net::IpAddr>{kClientWifiAddr, kClientCellAddr},
+        server_sock);
+  } else {
+    sp_server =
+        std::make_unique<app::TcpHttpServer>(tb.server(), kHttpPort, tcfg, object_size);
+    sp_client = std::make_unique<app::TcpHttpClient>(
+        tb.client(), tcfg, use_wifi ? kClientWifiAddr : kClientCellAddr, server_sock);
+  }
+
+  const auto start_measurement = [&] {
+    const auto on_done = [&](const app::FetchResult& r) {
+      fetch = r;
+      done = true;
+    };
+    if (multipath) {
+      mp_client->get(run_cfg.file_bytes, on_done);
+    } else {
+      sp_client->get(run_cfg.file_bytes, on_done);
+    }
+  };
+
+  // Ping warm-up (§3.2): two pings per active interface, measurement starts
+  // when every interface has been warmed.
+  std::vector<std::unique_ptr<app::PingAgent>> pingers;
+  if (run_cfg.ping_warmup) {
+    int pending = 0;
+    if (use_wifi) ++pending;
+    if (use_cell) ++pending;
+    auto remaining = std::make_shared<int>(pending);
+    const auto warm_done = [&start_measurement, remaining] {
+      if (--*remaining == 0) start_measurement();
+    };
+    if (use_wifi) {
+      pingers.push_back(
+          std::make_unique<app::PingAgent>(tb.client(), kClientWifiAddr, kServerAddr1));
+      pingers.back()->ping(2, warm_done);
+    }
+    if (use_cell) {
+      pingers.push_back(
+          std::make_unique<app::PingAgent>(tb.client(), kClientCellAddr, kServerAddr1));
+      pingers.back()->ping(2, warm_done);
+    }
+  } else {
+    start_measurement();
+  }
+
+  const sim::TimePoint deadline = sim.now() + run_cfg.timeout;
+  while (!done && sim.now() < deadline && sim.events().step()) {
+  }
+
+  result.completed = done;
+  result.wifi_energy_j = wifi_meter.energy_joules_total();
+  result.cellular_energy_j = cell_meter.energy_joules_total();
+  result.download_time_s =
+      done ? (fetch.complete_time - fetch.first_syn_time).to_seconds() : run_cfg.timeout.to_seconds();
+
+  if (multipath) {
+    core::MptcpConnection* server_conn = nullptr;
+    if (!mp_server->connections().empty()) server_conn = mp_server->connections().front();
+    collect_mptcp(result, mp_client->connection(), server_conn);
+  } else {
+    PathStats& ps = bucket(result, use_wifi ? kClientWifiAddr : kClientCellAddr);
+    ps.subflows = 1;
+    ps.bytes_received = sp_client->endpoint().metrics().bytes_received;
+    if (!sp_server->connections().empty()) {
+      const tcp::FlowMetrics& m = sp_server->connections().front()->metrics();
+      ps.data_packets_sent = m.data_packets_sent;
+      ps.rexmit_packets = m.rexmit_packets;
+      for (const sim::Duration d : m.rtt_samples) ps.rtt_ms.push_back(d.to_millis());
+    }
+  }
+  return result;
+}
+
+}  // namespace mpr::experiment

@@ -1,0 +1,77 @@
+// Single-measurement driver: performs one HTTP download on a fresh testbed
+// (with ping warm-up, as in §3.2) and extracts every metric the paper
+// reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/connection.h"
+#include "experiment/testbed.h"
+
+namespace mpr::experiment {
+
+enum class PathMode { kSingleWifi, kSingleCellular, kMptcp2, kMptcp4 };
+
+[[nodiscard]] std::string to_string(PathMode m);
+
+struct RunConfig {
+  PathMode mode{PathMode::kMptcp2};
+  core::CcKind cc{core::CcKind::kCoupled};
+  core::SchedulerKind scheduler{core::SchedulerKind::kMinRtt};
+  std::uint64_t file_bytes{512 * 1024};
+  bool simultaneous_syns{false};
+  bool penalization{false};
+  std::uint64_t ssthresh{64 * 1024};
+  std::uint64_t receive_buffer{8 * 1024 * 1024};
+  /// F-RTO spurious-timeout detection (extension ablation; the paper's
+  /// kernel shipped it disabled).
+  bool frto{false};
+  bool ping_warmup{true};
+  /// Join the cellular subflow in backup mode (RFC 6824 B bit): it carries
+  /// data only when the WiFi path fails. Extension experiment.
+  bool cellular_backup{false};
+  /// Give up (incomplete run) after this much simulated time.
+  sim::Duration timeout{sim::Duration::seconds(3600)};
+};
+
+/// Per-interface aggregate (over all subflows using that interface).
+struct PathStats {
+  std::uint64_t bytes_received{0};          // payload at the client
+  std::uint64_t data_packets_sent{0};       // at the server
+  std::uint64_t rexmit_packets{0};
+  std::vector<double> rtt_ms;               // server-side samples
+  std::size_t subflows{0};
+
+  [[nodiscard]] double loss_rate() const {
+    return data_packets_sent == 0 ? 0.0
+                                  : static_cast<double>(rexmit_packets) /
+                                        static_cast<double>(data_packets_sent);
+  }
+};
+
+struct RunResult {
+  bool completed{false};
+  double download_time_s{0};
+  PathStats wifi;
+  PathStats cellular;
+  std::vector<double> ofo_ms;  // connection-level out-of-order delay samples
+  std::uint64_t penalizations{0};
+  std::uint64_t reinjections{0};
+  /// Device radio energy over the measurement, including the post-transfer
+  /// tail (energy extension, paper §6 future work).
+  double wifi_energy_j{0};
+  double cellular_energy_j{0};
+
+  [[nodiscard]] double cellular_fraction() const {
+    const double total =
+        static_cast<double>(wifi.bytes_received + cellular.bytes_received);
+    return total > 0 ? static_cast<double>(cellular.bytes_received) / total : 0.0;
+  }
+};
+
+/// Builds a fresh testbed and performs one measurement.
+[[nodiscard]] RunResult run_download(const TestbedConfig& testbed_cfg, const RunConfig& run_cfg);
+
+}  // namespace mpr::experiment

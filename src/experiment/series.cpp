@@ -1,0 +1,113 @@
+#include "experiment/series.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/rng.h"
+
+namespace mpr::experiment {
+
+std::string period_name(int period) {
+  switch (period & 3) {
+    case 0: return "night";
+    case 1: return "morning";
+    case 2: return "afternoon";
+    default: return "evening";
+  }
+}
+
+std::map<std::string, std::vector<RunResult>> run_matrix(
+    const std::vector<MatrixEntry>& entries, int reps, std::uint64_t seed) {
+  std::map<std::string, std::vector<RunResult>> results;
+  sim::SeedSequence seeds{seed};
+  sim::Rng shuffle_rng = seeds.stream("matrix.shuffle");
+
+  for (int rep = 0; rep < reps; ++rep) {
+    const int period = rep % static_cast<int>(kPeriodLoadFactors.size());
+    // Randomize configuration order within the round (§3.2).
+    std::vector<std::size_t> order(entries.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::shuffle(order.begin(), order.end(), shuffle_rng.engine());
+
+    for (const std::size_t idx : order) {
+      const MatrixEntry& e = entries[idx];
+      TestbedConfig tb = e.testbed;
+      tb.load_factor *= kPeriodLoadFactors[static_cast<std::size_t>(period)];
+      tb.seed = seeds.seed_for(e.label + "#" + std::to_string(rep));
+      results[e.label].push_back(run_download(tb, e.run));
+    }
+  }
+  return results;
+}
+
+std::vector<RunResult> run_series(const TestbedConfig& testbed, const RunConfig& run, int reps,
+                                  std::uint64_t seed) {
+  const std::vector<MatrixEntry> one{MatrixEntry{"series", testbed, run}};
+  auto grouped = run_matrix(one, reps, seed);
+  return std::move(grouped["series"]);
+}
+
+analysis::Summary download_time_summary(const std::vector<RunResult>& rs) {
+  std::vector<double> times;
+  times.reserve(rs.size());
+  for (const RunResult& r : rs) {
+    if (r.completed) times.push_back(r.download_time_s);
+  }
+  return analysis::summarize(std::move(times));
+}
+
+double mean_cellular_fraction(const std::vector<RunResult>& rs) {
+  if (rs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const RunResult& r : rs) sum += r.cellular_fraction();
+  return sum / static_cast<double>(rs.size());
+}
+
+std::vector<double> pooled_rtt_ms(const std::vector<RunResult>& rs, bool cellular) {
+  std::vector<double> out;
+  for (const RunResult& r : rs) {
+    const PathStats& ps = cellular ? r.cellular : r.wifi;
+    out.insert(out.end(), ps.rtt_ms.begin(), ps.rtt_ms.end());
+  }
+  return out;
+}
+
+std::vector<double> pooled_ofo_ms(const std::vector<RunResult>& rs) {
+  std::vector<double> out;
+  for (const RunResult& r : rs) out.insert(out.end(), r.ofo_ms.begin(), r.ofo_ms.end());
+  return out;
+}
+
+std::vector<double> loss_rates_percent(const std::vector<RunResult>& rs, bool cellular) {
+  std::vector<double> out;
+  for (const RunResult& r : rs) {
+    const PathStats& ps = cellular ? r.cellular : r.wifi;
+    if (ps.data_packets_sent > 0) out.push_back(ps.loss_rate() * 100.0);
+  }
+  return out;
+}
+
+std::vector<double> per_run_mean_rtt_ms(const std::vector<RunResult>& rs, bool cellular) {
+  std::vector<double> out;
+  for (const RunResult& r : rs) {
+    const PathStats& ps = cellular ? r.cellular : r.wifi;
+    if (ps.rtt_ms.empty()) continue;
+    double sum = 0.0;
+    for (const double v : ps.rtt_ms) sum += v;
+    out.push_back(sum / static_cast<double>(ps.rtt_ms.size()));
+  }
+  return out;
+}
+
+std::vector<double> per_run_mean_ofo_ms(const std::vector<RunResult>& rs) {
+  std::vector<double> out;
+  for (const RunResult& r : rs) {
+    if (r.ofo_ms.empty()) continue;
+    double sum = 0.0;
+    for (const double v : r.ofo_ms) sum += v;
+    out.push_back(sum / static_cast<double>(r.ofo_ms.size()));
+  }
+  return out;
+}
+
+}  // namespace mpr::experiment

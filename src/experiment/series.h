@@ -1,0 +1,57 @@
+// Measurement campaigns: repetitions across time-of-day periods with
+// randomized configuration order, mirroring §3.2 of the paper.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/stats.h"
+#include "experiment/run.h"
+
+namespace mpr::experiment {
+
+/// The paper splits the day into four periods; we model them as load
+/// factors on the shared infrastructure (backhaul/AP contention).
+inline constexpr std::array<double, 4> kPeriodLoadFactors{0.8, 1.0, 1.1, 1.25};
+[[nodiscard]] std::string period_name(int period);
+
+/// One labelled configuration in a measurement matrix.
+struct MatrixEntry {
+  std::string label;
+  TestbedConfig testbed;
+  RunConfig run;
+};
+
+/// Runs `reps` measurements of each entry, cycling through the day periods
+/// and randomizing the execution order within each rep round (the paper
+/// randomizes file sizes / carriers / controllers within each round).
+/// Returns results grouped by label, in rep order.
+[[nodiscard]] std::map<std::string, std::vector<RunResult>> run_matrix(
+    const std::vector<MatrixEntry>& entries, int reps, std::uint64_t seed);
+
+/// Convenience for a single configuration.
+[[nodiscard]] std::vector<RunResult> run_series(const TestbedConfig& testbed,
+                                                const RunConfig& run, int reps,
+                                                std::uint64_t seed);
+
+/// Download-time summary (seconds) over a result set.
+[[nodiscard]] analysis::Summary download_time_summary(const std::vector<RunResult>& rs);
+/// Mean cellular traffic fraction over a result set.
+[[nodiscard]] double mean_cellular_fraction(const std::vector<RunResult>& rs);
+/// Pools per-path RTT samples (ms) over a result set.
+[[nodiscard]] std::vector<double> pooled_rtt_ms(const std::vector<RunResult>& rs, bool cellular);
+/// Pools OFO-delay samples (ms) over a result set.
+[[nodiscard]] std::vector<double> pooled_ofo_ms(const std::vector<RunResult>& rs);
+/// Per-run loss rates (%), one value per run, for the requested path.
+[[nodiscard]] std::vector<double> loss_rates_percent(const std::vector<RunResult>& rs,
+                                                     bool cellular);
+/// Per-run mean RTTs (ms), one value per run, for the requested path.
+[[nodiscard]] std::vector<double> per_run_mean_rtt_ms(const std::vector<RunResult>& rs,
+                                                      bool cellular);
+/// Per-run mean OFO delay (ms), one value per run.
+[[nodiscard]] std::vector<double> per_run_mean_ofo_ms(const std::vector<RunResult>& rs);
+
+}  // namespace mpr::experiment

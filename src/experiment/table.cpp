@@ -1,0 +1,41 @@
+#include "experiment/table.h"
+
+#include <cstdio>
+
+namespace mpr::experiment {
+
+void print_banner(const std::string& title) {
+  std::printf("\n================ %s ================\n", title.c_str());
+}
+
+void print_row(const std::vector<std::string>& cells) {
+  for (const std::string& c : cells) std::printf("%-17s", c.c_str());
+  std::printf("\n");
+}
+
+std::string fmt_box(const analysis::Summary& s, const std::string& unit) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%.2f/%.2f/%.2f/%.2f/%.2f%s", s.min, s.q1, s.median, s.q3,
+                s.max, unit.c_str());
+  return buf;
+}
+
+std::string fmt_scalar(double v, const std::string& unit, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%s", precision, v, unit.c_str());
+  return buf;
+}
+
+std::string fmt_size(std::uint64_t bytes) {
+  char buf[32];
+  if (bytes >= 1024ull * 1024 && bytes % (1024ull * 1024) == 0) {
+    std::snprintf(buf, sizeof buf, "%lluMB", static_cast<unsigned long long>(bytes >> 20));
+  } else if (bytes >= 1024 && bytes % 1024 == 0) {
+    std::snprintf(buf, sizeof buf, "%lluKB", static_cast<unsigned long long>(bytes >> 10));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lluB", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace mpr::experiment

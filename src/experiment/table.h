@@ -1,0 +1,28 @@
+// Small fixed-width table formatting helpers for the bench binaries, which
+// print paper-style rows (mean ± stderr, box summaries, CCDF points).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/stats.h"
+
+namespace mpr::experiment {
+
+/// "== title ==" banner.
+void print_banner(const std::string& title);
+
+/// Prints one row of fixed-width (16-char) cells.
+void print_row(const std::vector<std::string>& cells);
+
+/// Box summary "min/q1/median/q3/max" with the given unit suffix.
+[[nodiscard]] std::string fmt_box(const analysis::Summary& s, const std::string& unit = "s");
+
+/// "12.3ms" style scalar.
+[[nodiscard]] std::string fmt_scalar(double v, const std::string& unit = "", int precision = 2);
+
+/// Human file size ("64KB", "4MB").
+[[nodiscard]] std::string fmt_size(std::uint64_t bytes);
+
+}  // namespace mpr::experiment

@@ -1,0 +1,35 @@
+#include "experiment/testbed.h"
+
+namespace mpr::experiment {
+
+namespace {
+netem::AccessProfile scaled(netem::AccessProfile p, double load, bool is_wifi) {
+  if (is_wifi) {
+    p.background.on_utilization = std::min(p.background.on_utilization * load, 0.95);
+    if (load > 1.0) p.rate_sigma *= load;
+  } else {
+    p.rate_sigma *= load;
+    p.background.on_utilization = std::min(p.background.on_utilization * load, 0.95);
+  }
+  return p;
+}
+}  // namespace
+
+Testbed::Testbed(TestbedConfig config)
+    : config_{config}, sim_{config.seed}, network_{sim_} {
+  if (config_.capture_trace) trace_ = std::make_unique<analysis::PacketTrace>(network_);
+
+  server_ = std::make_unique<net::Host>(sim_, network_,
+                                        std::vector<net::IpAddr>{kServerAddr1, kServerAddr2});
+  client_ = std::make_unique<net::Host>(
+      sim_, network_, std::vector<net::IpAddr>{kClientWifiAddr, kClientCellAddr});
+
+  wifi_access_ = std::make_unique<netem::AccessNetwork>(
+      sim_, network_, kClientWifiAddr, scaled(config_.wifi, config_.load_factor, true));
+  cell_access_ = std::make_unique<netem::AccessNetwork>(
+      sim_, network_, kClientCellAddr, scaled(config_.cellular, config_.load_factor, false));
+
+  ping_responder_ = std::make_unique<app::PingResponder>(*server_);
+}
+
+}  // namespace mpr::experiment

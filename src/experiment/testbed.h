@@ -1,0 +1,62 @@
+// The simulated testbed of Fig 1: a dual-homed server on wired LANs and a
+// mobile client with a WiFi interface and one cellular interface, connected
+// through calibrated access networks.
+#pragma once
+
+#include <memory>
+
+#include "analysis/trace.h"
+#include "app/ping.h"
+#include "net/host.h"
+#include "net/network.h"
+#include "netem/access.h"
+#include "sim/simulation.h"
+
+namespace mpr::experiment {
+
+/// Interface addresses (fixed by convention).
+inline constexpr net::IpAddr kClientWifiAddr{1};
+inline constexpr net::IpAddr kClientCellAddr{2};
+inline constexpr net::IpAddr kServerAddr1{10};
+inline constexpr net::IpAddr kServerAddr2{11};
+inline constexpr std::uint16_t kHttpPort = 8080;  // AT&T proxies port 80 (§3.1)
+
+struct TestbedConfig {
+  std::uint64_t seed{1};
+  netem::AccessProfile wifi{netem::wifi_home()};
+  netem::AccessProfile cellular{netem::att_lte()};
+  /// Time-of-day load factor: scales WiFi background utilization and
+  /// cellular rate variability (1.0 = baseline afternoon).
+  double load_factor{1.0};
+  bool capture_trace{false};
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config);
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  [[nodiscard]] sim::Simulation& sim() { return sim_; }
+  [[nodiscard]] net::Network& network() { return network_; }
+  [[nodiscard]] net::Host& server() { return *server_; }
+  [[nodiscard]] net::Host& client() { return *client_; }
+  [[nodiscard]] netem::AccessNetwork& wifi_access() { return *wifi_access_; }
+  [[nodiscard]] netem::AccessNetwork& cell_access() { return *cell_access_; }
+  [[nodiscard]] analysis::PacketTrace* trace() { return trace_.get(); }
+  [[nodiscard]] const TestbedConfig& config() const { return config_; }
+
+ private:
+  TestbedConfig config_;
+  sim::Simulation sim_;
+  net::Network network_;
+  std::unique_ptr<net::Host> server_;
+  std::unique_ptr<net::Host> client_;
+  std::unique_ptr<netem::AccessNetwork> wifi_access_;
+  std::unique_ptr<netem::AccessNetwork> cell_access_;
+  std::unique_ptr<analysis::PacketTrace> trace_;
+  std::unique_ptr<app::PingResponder> ping_responder_;
+};
+
+}  // namespace mpr::experiment

@@ -1,0 +1,62 @@
+// Addressing primitives: interface addresses, transport endpoints, flow keys.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace mpr::net {
+
+/// An interface address. Plays the role of an IPv4 address in the testbed;
+/// values are small opaque integers assigned by the topology builder.
+struct IpAddr {
+  std::uint32_t value{0};
+  friend constexpr auto operator<=>(IpAddr, IpAddr) = default;
+};
+
+[[nodiscard]] inline std::string to_string(IpAddr a) { return "ip" + std::to_string(a.value); }
+
+/// A transport endpoint (address, port).
+struct SocketAddr {
+  IpAddr addr;
+  std::uint16_t port{0};
+  friend constexpr auto operator<=>(SocketAddr, SocketAddr) = default;
+};
+
+[[nodiscard]] inline std::string to_string(SocketAddr s) {
+  return to_string(s.addr) + ":" + std::to_string(s.port);
+}
+
+/// Identifies one direction of a TCP subflow: (src endpoint, dst endpoint).
+struct FlowKey {
+  SocketAddr src;
+  SocketAddr dst;
+  friend constexpr auto operator<=>(FlowKey, FlowKey) = default;
+  [[nodiscard]] FlowKey reversed() const { return FlowKey{dst, src}; }
+};
+
+}  // namespace mpr::net
+
+template <>
+struct std::hash<mpr::net::IpAddr> {
+  std::size_t operator()(mpr::net::IpAddr a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value);
+  }
+};
+
+template <>
+struct std::hash<mpr::net::SocketAddr> {
+  std::size_t operator()(mpr::net::SocketAddr s) const noexcept {
+    return std::hash<std::uint64_t>{}((static_cast<std::uint64_t>(s.addr.value) << 16) | s.port);
+  }
+};
+
+template <>
+struct std::hash<mpr::net::FlowKey> {
+  std::size_t operator()(const mpr::net::FlowKey& f) const noexcept {
+    const std::size_t a = std::hash<mpr::net::SocketAddr>{}(f.src);
+    const std::size_t b = std::hash<mpr::net::SocketAddr>{}(f.dst);
+    return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  }
+};

@@ -1,0 +1,60 @@
+// Host: owns one or more interface addresses and demultiplexes incoming
+// packets to transport endpoints by (local sockaddr, remote sockaddr), with
+// per-port listeners as fallback (used by the server's accept path).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.h"
+#include "net/packet.h"
+
+namespace mpr::net {
+
+class Host {
+ public:
+  using PacketHandler = std::function<void(Packet)>;
+
+  Host(sim::Simulation& sim, Network& network, std::vector<IpAddr> addrs);
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  [[nodiscard]] const std::vector<IpAddr>& addrs() const { return addrs_; }
+  [[nodiscard]] sim::Simulation& sim() { return sim_; }
+  [[nodiscard]] Network& network() { return network_; }
+
+  /// Exact-match registration for an established flow. `key` is from the
+  /// host's perspective: src = local endpoint, dst = remote endpoint.
+  void register_flow(const FlowKey& key, PacketHandler h);
+  void unregister_flow(const FlowKey& key);
+
+  /// Fallback handler for packets to `port` that match no registered flow
+  /// (e.g. incoming SYNs on a listening socket).
+  void listen(std::uint16_t port, PacketHandler h);
+  void stop_listening(std::uint16_t port);
+
+  /// Stamps a fresh uid and injects the packet into the network.
+  void send(Packet p);
+
+  /// Delivery entry point (bound into the network by the constructor).
+  void deliver(Packet p);
+
+  /// Allocates an unused local port (ephemeral range).
+  [[nodiscard]] std::uint16_t ephemeral_port() { return next_port_++; }
+
+  [[nodiscard]] std::uint64_t unmatched_packets() const { return unmatched_; }
+
+ private:
+  sim::Simulation& sim_;
+  Network& network_;
+  std::vector<IpAddr> addrs_;
+  std::unordered_map<FlowKey, PacketHandler> flows_;
+  std::unordered_map<std::uint16_t, PacketHandler> listeners_;
+  std::uint16_t next_port_{40000};
+  std::uint64_t unmatched_{0};
+};
+
+}  // namespace mpr::net

@@ -1,0 +1,68 @@
+#include "net/link.h"
+
+#include <cassert>
+#include <utility>
+
+namespace mpr::net {
+
+Link::Link(sim::Simulation& sim, Config config, DeliverFn deliver)
+    : sim_{sim}, config_{std::move(config)}, deliver_{std::move(deliver)} {
+  assert(deliver_);
+  assert(config_.rate_bps > 0);
+  set_queue_discipline(std::make_unique<DropTailQueue>(config_.queue_capacity_bytes));
+}
+
+void Link::set_queue_discipline(std::unique_ptr<QueueDiscipline> q) {
+  assert(q != nullptr);
+  queue_ = std::move(q);
+  // In-queue drops (AQM) count as queue drops alongside enqueue rejections.
+  queue_->set_drop_hook([this](const Packet& p) {
+    ++stats_.packets_dropped_queue;
+    if (drop_observer_) drop_observer_(p);
+  });
+}
+
+void Link::send(Packet p) {
+  ++stats_.packets_offered;
+  // The discipline's drop hook accounts for rejected packets.
+  if (queue_->enqueue(std::move(p), sim_.now())) maybe_start_service();
+}
+
+void Link::maybe_start_service() {
+  if (serving_) return;
+  auto popped = queue_->dequeue(sim_.now());
+  if (!popped) return;
+  serving_ = true;
+  Packet p = std::move(*popped);
+
+  const sim::TimePoint now = sim_.now();
+  const sim::TimePoint start = gate_fn_ ? std::max(now, gate_fn_(now)) : now;
+  const double rate = rate_fn_ ? rate_fn_() : config_.rate_bps;
+  const double tx_seconds = static_cast<double>(p.wire_bytes()) * 8.0 / std::max(rate, 1.0);
+  stats_.busy_time += sim::Duration::from_seconds(tx_seconds);
+  const sim::TimePoint done = start + sim::Duration::from_seconds(tx_seconds);
+
+  sim_.at(done, [this, pkt = std::move(p)]() mutable { finish_service(std::move(pkt)); });
+}
+
+void Link::finish_service(Packet p) {
+  serving_ = false;
+  const bool dropped = loss_->should_drop();
+  if (dropped) {
+    ++stats_.packets_dropped_wire;
+    if (drop_observer_) drop_observer_(p);
+  } else {
+    sim::Duration extra = extra_delay_fn_ ? extra_delay_fn_() : sim::Duration::zero();
+    if (extra < sim::Duration::zero()) extra = sim::Duration::zero();
+    sim::TimePoint deliver_at = sim_.now() + config_.prop_delay + extra;
+    // In-order delivery: a stalled packet blocks everything behind it.
+    if (deliver_at < last_delivery_) deliver_at = last_delivery_;
+    last_delivery_ = deliver_at;
+    ++stats_.packets_delivered;
+    stats_.bytes_delivered += p.wire_bytes();
+    sim_.at(deliver_at, [this, pkt = std::move(p)]() mutable { deliver_(std::move(pkt)); });
+  }
+  maybe_start_service();
+}
+
+}  // namespace mpr::net

@@ -1,0 +1,93 @@
+// Unidirectional link: drop-tail byte queue -> serialization at a (possibly
+// time-varying) rate -> wire loss -> propagation delay (+ per-packet extra
+// delay, e.g. link-layer ARQ stalls) -> delivery.
+//
+// Delivery order is FIFO even when extra delay varies: cellular RLC delivers
+// in sequence, so a delayed packet head-of-line blocks the ones behind it.
+// This is the mechanism behind the RTT spikes the paper observes on 3G.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/loss.h"
+#include "net/packet.h"
+#include "net/queue.h"
+#include "sim/simulation.h"
+
+namespace mpr::net {
+
+class Link {
+ public:
+  struct Config {
+    std::string name{"link"};
+    double rate_bps{10e6};
+    sim::Duration prop_delay{sim::Duration::millis(5)};
+    std::uint64_t queue_capacity_bytes{256 * 1024};
+  };
+
+  struct Stats {
+    std::uint64_t packets_offered{0};
+    std::uint64_t packets_delivered{0};
+    std::uint64_t packets_dropped_queue{0};
+    std::uint64_t packets_dropped_wire{0};
+    std::uint64_t bytes_delivered{0};
+    /// Accumulated transmission (serialization) time — the radio's active
+    /// airtime, used by the energy model.
+    sim::Duration busy_time{};
+  };
+
+  using DeliverFn = std::function<void(Packet)>;
+  /// Returns current service rate in bits/s. Consulted at each service start.
+  using RateFn = std::function<double()>;
+  /// Extra one-way delay added to a packet (ARQ retransmission stalls etc.).
+  using ExtraDelayFn = std::function<sim::Duration()>;
+  /// Earliest time service may start (radio promotion gate). Also informs the
+  /// gate that traffic is flowing (refreshes inactivity timers).
+  using GateFn = std::function<sim::TimePoint(sim::TimePoint now)>;
+
+  Link(sim::Simulation& sim, Config config, DeliverFn deliver);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Offers a packet to the queue; drops if the queue is full.
+  void send(Packet p);
+
+  void set_loss_model(std::unique_ptr<LossModel> m) { loss_ = std::move(m); }
+  /// Replaces the queue discipline (default: DropTailQueue of
+  /// queue_capacity_bytes). Must be called before traffic flows.
+  void set_queue_discipline(std::unique_ptr<QueueDiscipline> q);
+  void set_rate_fn(RateFn f) { rate_fn_ = std::move(f); }
+  void set_extra_delay_fn(ExtraDelayFn f) { extra_delay_fn_ = std::move(f); }
+  void set_gate_fn(GateFn f) { gate_fn_ = std::move(f); }
+  /// Observer invoked for every wire drop (loss-model drops), for tracing.
+  void set_drop_observer(std::function<void(const Packet&)> f) { drop_observer_ = std::move(f); }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] std::uint64_t queued_bytes() const { return queue_->bytes(); }
+  [[nodiscard]] std::size_t queued_packets() const { return queue_->packets(); }
+
+ private:
+  void maybe_start_service();
+  void finish_service(Packet p);
+
+  sim::Simulation& sim_;
+  Config config_;
+  DeliverFn deliver_;
+  std::unique_ptr<LossModel> loss_{std::make_unique<NoLoss>()};
+  RateFn rate_fn_;
+  ExtraDelayFn extra_delay_fn_;
+  GateFn gate_fn_;
+  std::function<void(const Packet&)> drop_observer_;
+
+  std::unique_ptr<QueueDiscipline> queue_;
+  bool serving_{false};
+  sim::TimePoint last_delivery_;  // FIFO floor for deliveries
+  Stats stats_;
+};
+
+}  // namespace mpr::net

@@ -1,0 +1,30 @@
+#include "net/packet.h"
+
+#include <cstdio>
+
+namespace mpr::net {
+
+std::string to_string(const Packet& p) {
+  char buf[160];
+  std::string flags;
+  if (p.tcp.has(kFlagSyn)) flags += 'S';
+  if (p.tcp.has(kFlagAck)) flags += 'A';
+  if (p.tcp.has(kFlagFin)) flags += 'F';
+  if (p.tcp.has(kFlagRst)) flags += 'R';
+  if (flags.empty()) flags = ".";
+  std::snprintf(buf, sizeof buf, "%s:%u > %s:%u [%s] seq=%llu ack=%llu len=%u",
+                to_string(p.src).c_str(), p.tcp.src_port, to_string(p.dst).c_str(),
+                p.tcp.dst_port, flags.c_str(), static_cast<unsigned long long>(p.tcp.seq),
+                static_cast<unsigned long long>(p.tcp.ack), p.payload_bytes);
+  std::string out = buf;
+  if (p.tcp.dss) {
+    std::snprintf(buf, sizeof buf, " dss={dsn=%llu len=%u dack=%llu}",
+                  static_cast<unsigned long long>(p.tcp.dss->dsn), p.tcp.dss->length,
+                  static_cast<unsigned long long>(p.tcp.dss->data_ack));
+    out += buf;
+  }
+  if (p.is_retransmit) out += " (rexmit)";
+  return out;
+}
+
+}  // namespace mpr::net

@@ -1,0 +1,129 @@
+// Packet model.
+//
+// Packets carry a TCP segment with optional MPTCP options (MP_CAPABLE,
+// MP_JOIN, ADD_ADDR, DSS) and SACK blocks. Payload is modelled as a byte
+// count only; sequence numbers are 64-bit so wraparound never occurs (the
+// real protocol's 32-bit wrap handling is out of scope and orthogonal to the
+// paper's measurements).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/addr.h"
+#include "sim/time.h"
+
+namespace mpr::net {
+
+/// TCP header flags (bitmask).
+enum TcpFlags : std::uint8_t {
+  kFlagSyn = 1u << 0,
+  kFlagAck = 1u << 1,
+  kFlagFin = 1u << 2,
+  kFlagRst = 1u << 3,
+};
+
+/// One SACK block: [begin, end) in subflow sequence space.
+struct SackBlock {
+  std::uint64_t begin{0};
+  std::uint64_t end{0};
+  friend constexpr auto operator<=>(SackBlock, SackBlock) = default;
+};
+
+/// MP_CAPABLE: carried on the SYN / SYN-ACK of the first subflow.
+struct MpCapableOption {
+  std::uint64_t sender_key{0};
+  std::uint64_t receiver_key{0};  // set on SYN-ACK
+};
+
+/// MP_JOIN: carried on the SYN of additional subflows; `token` identifies the
+/// existing MPTCP connection (hash of the peer's key in the real protocol).
+/// `backup` is RFC 6824's B bit: the subflow should carry data only when no
+/// regular subflow is usable.
+struct MpJoinOption {
+  std::uint64_t token{0};
+  std::uint8_t address_id{0};
+  bool backup{false};
+};
+
+/// ADD_ADDR: advertises an additional address of the sender.
+struct AddAddrOption {
+  IpAddr addr;
+  std::uint8_t address_id{0};
+};
+
+/// REMOVE_ADDR: withdraws an address; the peer tears down subflows to it
+/// (mobility: an interface went away — §6 of the paper).
+struct RemoveAddrOption {
+  IpAddr addr;
+};
+
+/// MP_PRIO: changes the backup priority of the subflow carrying it.
+struct MpPrioOption {
+  bool backup{true};
+};
+
+/// DSS: data sequence signal. Maps this segment's payload into the MPTCP
+/// data-level sequence space and acknowledges data-level progress.
+struct DssOption {
+  std::uint64_t dsn{0};           // data sequence number of first payload byte
+  std::uint32_t length{0};        // bytes covered by this mapping
+  std::uint64_t data_ack{0};      // cumulative data-level ack
+  bool has_data_ack{false};
+  bool data_fin{false};
+};
+
+/// TCP segment header (+ options). Sequence/ack numbers count bytes from 0
+/// for each subflow direction.
+struct TcpSegment {
+  std::uint16_t src_port{0};
+  std::uint16_t dst_port{0};
+  std::uint64_t seq{0};
+  std::uint64_t ack{0};
+  std::uint8_t flags{0};
+  std::uint64_t wnd{0};  // advertised receive window in bytes
+  std::vector<SackBlock> sack;
+  std::optional<MpCapableOption> mp_capable;
+  std::optional<MpJoinOption> mp_join;
+  std::optional<AddAddrOption> add_addr;
+  std::optional<RemoveAddrOption> remove_addr;
+  std::optional<MpPrioOption> mp_prio;
+  std::optional<DssOption> dss;
+
+  [[nodiscard]] bool has(TcpFlags f) const { return (flags & f) != 0; }
+};
+
+/// A packet in flight. Value type; moved through links and queues.
+struct Packet {
+  std::uint64_t uid{0};  // globally unique, assigned by the sending endpoint
+  IpAddr src;
+  IpAddr dst;
+  TcpSegment tcp;
+  std::uint32_t payload_bytes{0};
+  bool is_retransmit{false};       // sender-side metadata for tracing
+  sim::TimePoint first_sent_time;  // stamped by the sending endpoint
+  sim::TimePoint enqueue_time;     // stamped by the queue (CoDel sojourn time)
+
+  /// Approximate wire size: payload + IPv4/TCP headers + options.
+  [[nodiscard]] std::uint32_t wire_bytes() const {
+    std::uint32_t options = 0;
+    options += static_cast<std::uint32_t>(tcp.sack.size()) * 8 + (tcp.sack.empty() ? 0 : 2);
+    if (tcp.mp_capable) options += 12;
+    if (tcp.mp_join) options += 12;
+    if (tcp.add_addr) options += 8;
+    if (tcp.remove_addr) options += 4;
+    if (tcp.mp_prio) options += 4;
+    if (tcp.dss) options += 20;
+    return payload_bytes + 40 + options;
+  }
+
+  [[nodiscard]] FlowKey flow() const {
+    return FlowKey{SocketAddr{src, tcp.src_port}, SocketAddr{dst, tcp.dst_port}};
+  }
+};
+
+[[nodiscard]] std::string to_string(const Packet& p);
+
+}  // namespace mpr::net

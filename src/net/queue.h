@@ -1,0 +1,108 @@
+// Queue disciplines for links.
+//
+// DropTailQueue is the default and models the deep dumb buffers behind the
+// paper's cellular bufferbloat findings (§5.1). CodelQueue implements the
+// CoDel AQM (Nichols & Jacobson; RFC 8289) as the counterfactual: what the
+// same radio links would look like with modern queue management — used by
+// the extension bench.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "net/packet.h"
+#include "sim/time.h"
+
+namespace mpr::net {
+
+class QueueDiscipline {
+ public:
+  virtual ~QueueDiscipline() = default;
+
+  /// Offers a packet. Returns false if dropped at enqueue (queue full);
+  /// the drop hook fires for every dropped packet, at enqueue or inside
+  /// dequeue (AQM).
+  virtual bool enqueue(Packet p, sim::TimePoint now) = 0;
+
+  /// Next packet to transmit, or nullopt when empty. AQM disciplines may
+  /// drop packets internally here; those are reported via the drop hook.
+  virtual std::optional<Packet> dequeue(sim::TimePoint now) = 0;
+
+  [[nodiscard]] virtual std::uint64_t bytes() const = 0;
+  [[nodiscard]] virtual std::size_t packets() const = 0;
+
+  /// Invoked for every packet the discipline drops after admission.
+  void set_drop_hook(std::function<void(const Packet&)> hook) { drop_hook_ = std::move(hook); }
+
+ protected:
+  void report_drop(const Packet& p) {
+    if (drop_hook_) drop_hook_(p);
+  }
+
+ private:
+  std::function<void(const Packet&)> drop_hook_;
+};
+
+/// FIFO with a byte cap; always admits at least one packet.
+class DropTailQueue final : public QueueDiscipline {
+ public:
+  explicit DropTailQueue(std::uint64_t capacity_bytes) : capacity_{capacity_bytes} {}
+
+  bool enqueue(Packet p, sim::TimePoint now) override;
+  std::optional<Packet> dequeue(sim::TimePoint now) override;
+  [[nodiscard]] std::uint64_t bytes() const override { return bytes_; }
+  [[nodiscard]] std::size_t packets() const override { return queue_.size(); }
+
+ private:
+  std::uint64_t capacity_;
+  std::uint64_t bytes_{0};
+  std::deque<Packet> queue_;
+};
+
+/// CoDel (RFC 8289): drops at dequeue when the standing (sojourn) delay has
+/// exceeded `target` for at least `interval`, with the sqrt control law.
+/// A byte cap still bounds worst-case memory.
+class CodelQueue final : public QueueDiscipline {
+ public:
+  struct Params {
+    sim::Duration target{sim::Duration::millis(5)};
+    sim::Duration interval{sim::Duration::millis(100)};
+    std::uint64_t capacity_bytes{4 * 1024 * 1024};
+    std::uint32_t mtu_bytes{1540};
+  };
+
+  explicit CodelQueue(Params params) : params_{params} {}
+
+  bool enqueue(Packet p, sim::TimePoint now) override;
+  std::optional<Packet> dequeue(sim::TimePoint now) override;
+  [[nodiscard]] std::uint64_t bytes() const override { return bytes_; }
+  [[nodiscard]] std::size_t packets() const override { return queue_.size(); }
+  [[nodiscard]] std::uint64_t codel_drops() const { return codel_drops_; }
+
+ private:
+  struct Front {
+    std::optional<Packet> packet;
+    bool ok_to_drop{false};
+  };
+  Front do_dequeue(sim::TimePoint now);
+  [[nodiscard]] sim::TimePoint control_law(sim::TimePoint t) const {
+    return t + params_.interval * (1.0 / std::sqrt(static_cast<double>(count_)));
+  }
+
+  Params params_;
+  std::uint64_t bytes_{0};
+  std::deque<Packet> queue_;
+
+  sim::TimePoint first_above_time_{};
+  bool has_first_above_{false};
+  bool dropping_{false};
+  sim::TimePoint drop_next_{};
+  std::uint32_t count_{0};
+  std::uint64_t codel_drops_{0};
+};
+
+}  // namespace mpr::net

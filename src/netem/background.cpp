@@ -1,0 +1,48 @@
+#include "netem/background.h"
+
+#include <algorithm>
+
+namespace mpr::netem {
+
+BackgroundTraffic::BackgroundTraffic(sim::Simulation& sim, net::Link& link, Config config,
+                                     sim::Rng rng)
+    : sim_{sim}, link_{link}, config_{config}, rng_{std::move(rng)} {
+  if (config_.on_utilization > 0.0 && config_.on_fraction > 0.0) schedule_next();
+}
+
+void BackgroundTraffic::schedule_next() {
+  if (stopped_) return;
+
+  const sim::TimePoint now = sim_.now();
+  // Advance ON/OFF phases past `now`.
+  while (now >= phase_end_) {
+    on_ = !on_;
+    const sim::Duration mean = on_ ? config_.mean_on : mean_off();
+    const double len_s = std::max(rng_.exponential(std::max(mean.to_seconds(), 1e-3)), 1e-4);
+    phase_end_ = phase_end_ + sim::Duration::from_seconds(len_s);
+  }
+
+  if (!on_) {
+    // Sleep through the OFF phase.
+    sim_.at(phase_end_, [this] { schedule_next(); });
+    return;
+  }
+
+  const double rate_bps = link_.config().rate_bps * config_.on_utilization;
+  const double mean_gap_s = static_cast<double>(config_.packet_bytes) * 8.0 / rate_bps;
+  const double gap_s = rng_.exponential(mean_gap_s);
+  sim_.after(sim::Duration::from_seconds(gap_s), [this] {
+    if (stopped_) return;
+    if (on_ && sim_.now() < phase_end_) {
+      net::Packet p;
+      p.src = config_.phantom_src;
+      p.dst = config_.phantom_dst;
+      p.payload_bytes = config_.packet_bytes - 40;
+      ++injected_;
+      link_.send(std::move(p));
+    }
+    schedule_next();
+  });
+}
+
+}  // namespace mpr::netem

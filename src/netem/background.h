@@ -1,0 +1,55 @@
+// Background cross-traffic generator.
+//
+// Injects phantom packets straight into an access link to occupy its queue
+// and serialization time, reproducing contention from other users of the
+// same AP/backhaul (the coffee-shop hotspot of Fig 6, and milder
+// time-of-day load on the home network). The process is a modulated Poisson
+// source: exponential ON/OFF phases; during ON phases packets arrive at a
+// rate targeting `on_utilization` of the link's base rate.
+#pragma once
+
+#include <cstdint>
+
+#include "net/link.h"
+#include "net/packet.h"
+#include "sim/rng.h"
+#include "sim/simulation.h"
+
+namespace mpr::netem {
+
+class BackgroundTraffic {
+ public:
+  struct Config {
+    double on_utilization{0.6};   // fraction of link rate consumed while ON
+    double on_fraction{0.5};      // long-run fraction of time in ON phase
+    sim::Duration mean_on{sim::Duration::seconds(2)};
+    std::uint32_t packet_bytes{1460};
+    net::IpAddr phantom_src{0xFFFF0001};
+    net::IpAddr phantom_dst{0xFFFF0002};
+  };
+
+  /// Starts generating immediately. `link` must outlive this object.
+  BackgroundTraffic(sim::Simulation& sim, net::Link& link, Config config, sim::Rng rng);
+
+  void stop() { stopped_ = true; }
+  [[nodiscard]] std::uint64_t packets_injected() const { return injected_; }
+
+ private:
+  void schedule_next();
+  [[nodiscard]] sim::Duration mean_off() const {
+    const double f = config_.on_fraction;
+    if (f >= 1.0) return sim::Duration::zero();
+    return config_.mean_on * ((1.0 - f) / f);
+  }
+
+  sim::Simulation& sim_;
+  net::Link& link_;
+  Config config_;
+  sim::Rng rng_;
+  bool on_{false};
+  sim::TimePoint phase_end_{};
+  bool stopped_{false};
+  std::uint64_t injected_{0};
+};
+
+}  // namespace mpr::netem

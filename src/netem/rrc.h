@@ -1,0 +1,50 @@
+// Cellular RRC (radio resource control) state machine.
+//
+// The radio idles to save energy; the first packet after an idle period pays
+// a promotion delay (hundreds of ms on LTE, seconds on 3G) before the radio
+// serves traffic — the reason the paper pings the server before every
+// measurement (§3.2). One instance is shared by the uplink and downlink of a
+// cellular interface.
+#pragma once
+
+#include "sim/time.h"
+
+namespace mpr::netem {
+
+class RrcStateMachine {
+ public:
+  struct Config {
+    sim::Duration promotion_delay{sim::Duration::millis(300)};
+    sim::Duration idle_timeout{sim::Duration::seconds(10)};
+  };
+
+  explicit RrcStateMachine(Config config) : config_{config} {}
+
+  /// Notifies the radio of traffic at `now`; returns the earliest time the
+  /// packet may be served. Promotion starts on the first packet after idle.
+  [[nodiscard]] sim::TimePoint on_traffic(sim::TimePoint now) {
+    if (connected_ && now - last_activity_ > config_.idle_timeout) connected_ = false;
+    if (!connected_) {
+      ready_at_ = now + config_.promotion_delay;
+      connected_ = true;
+      ++promotions_;
+    }
+    last_activity_ = std::max(now, ready_at_);
+    return std::max(now, ready_at_);
+  }
+
+  [[nodiscard]] bool connected_at(sim::TimePoint now) const {
+    return connected_ && now - last_activity_ <= config_.idle_timeout;
+  }
+  [[nodiscard]] std::uint64_t promotions() const { return promotions_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  bool connected_{false};
+  sim::TimePoint ready_at_{};
+  sim::TimePoint last_activity_{};
+  std::uint64_t promotions_{0};
+};
+
+}  // namespace mpr::netem

@@ -1,0 +1,71 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace mpr::sim {
+
+EventId EventQueue::schedule_at(TimePoint when, Action action) {
+  assert(action);
+  if (when < now_) when = now_;  // never schedule into the past
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, next_seq_++, id, std::move(action)});
+  ++live_count_;
+  return id;
+}
+
+EventId EventQueue::schedule_after(Duration delay, Action action) {
+  if (delay < Duration::zero()) delay = Duration::zero();
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id == kInvalidEventId) return false;
+  // Lazy deletion: remember the id and skip it when it surfaces.
+  const bool inserted = cancelled_.insert(id).second;
+  if (inserted && live_count_ > 0) {
+    --live_count_;
+    return true;
+  }
+  return false;
+}
+
+bool EventQueue::step() {
+  while (!heap_.empty()) {
+    // priority_queue::top() is const; move out via const_cast, which is safe
+    // because we pop immediately and never inspect the moved-from entry.
+    Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    if (const auto it = cancelled_.find(entry.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = entry.when;
+    --live_count_;
+    ++executed_;
+    entry.action();
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::run_until(TimePoint deadline) {
+  while (!heap_.empty()) {
+    const Entry& top = heap_.top();
+    if (cancelled_.contains(top.id)) {
+      cancelled_.erase(top.id);
+      heap_.pop();
+      continue;
+    }
+    if (top.when > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void EventQueue::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace mpr::sim

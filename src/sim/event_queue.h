@@ -1,0 +1,85 @@
+// Discrete-event scheduler.
+//
+// A binary-heap event queue with cancellable events and FIFO ordering for
+// events scheduled at the same instant. All simulator components schedule
+// through this queue; there is no other source of time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace mpr::sim {
+
+/// Token identifying a scheduled event; valid until the event fires or is
+/// cancelled. Id 0 is never issued.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Current simulated time. Advances only while events run.
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedules `action` at absolute time `when` (must be >= now()).
+  EventId schedule_at(TimePoint when, Action action);
+
+  /// Schedules `action` after `delay` (clamped to >= 0).
+  EventId schedule_after(Duration delay, Action action);
+
+  /// Cancels a pending event. Returns true if the event was still pending.
+  bool cancel(EventId id);
+
+  /// Runs a single event. Returns false if the queue was empty.
+  bool step();
+
+  /// Runs events until the queue drains or `deadline` is passed. Events at
+  /// exactly `deadline` still run; now() never exceeds `deadline` afterwards.
+  void run_until(TimePoint deadline);
+
+  /// Runs until the queue drains.
+  void run();
+
+  /// True when no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+
+  /// Number of live pending events.
+  [[nodiscard]] std::size_t pending() const { return live_count_; }
+
+  /// Total events executed so far (for instrumentation and benchmarks).
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq;  // tie-break: FIFO at equal times
+    EventId id;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  TimePoint now_{};
+  std::uint64_t next_seq_{0};
+  EventId next_id_{1};
+  std::size_t live_count_{0};
+  std::uint64_t executed_{0};
+};
+
+}  // namespace mpr::sim

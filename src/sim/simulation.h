@@ -1,0 +1,41 @@
+// Simulation context: the event queue plus the seed sequence every
+// stochastic component derives its stream from. One Simulation per run.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace mpr::sim {
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 1) : seeds_{seed} {}
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] EventQueue& events() { return events_; }
+  [[nodiscard]] TimePoint now() const { return events_.now(); }
+  [[nodiscard]] const SeedSequence& seeds() const { return seeds_; }
+
+  /// Fresh deterministic stream for the named component.
+  [[nodiscard]] Rng rng(std::string_view name) const { return seeds_.stream(name); }
+
+  EventId at(TimePoint when, EventQueue::Action a) { return events_.schedule_at(when, std::move(a)); }
+  EventId after(Duration d, EventQueue::Action a) { return events_.schedule_after(d, std::move(a)); }
+  bool cancel(EventId id) { return events_.cancel(id); }
+
+  void run() { events_.run(); }
+  void run_until(TimePoint t) { events_.run_until(t); }
+  void run_for(Duration d) { events_.run_until(now() + d); }
+
+ private:
+  EventQueue events_;
+  SeedSequence seeds_;
+};
+
+}  // namespace mpr::sim

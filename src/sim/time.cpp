@@ -1,0 +1,29 @@
+#include "sim/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mpr::sim {
+namespace {
+
+std::string format_ns(std::int64_t ns) {
+  char buf[64];
+  const double abs_ns = std::fabs(static_cast<double>(ns));
+  if (abs_ns >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3fs", static_cast<double>(ns) * 1e-9);
+  } else if (abs_ns >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3fms", static_cast<double>(ns) * 1e-6);
+  } else if (abs_ns >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.3fus", static_cast<double>(ns) * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns));
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string to_string(Duration d) { return format_ns(d.ns()); }
+std::string to_string(TimePoint t) { return format_ns(t.ns()); }
+
+}  // namespace mpr::sim

@@ -1,0 +1,62 @@
+// TCP endpoint configuration. Defaults follow the paper's testbed settings
+// (§3.1): initial window of 10 segments, ssthresh 64 KB, SACK on, metric
+// caching disabled (there is no cache in this implementation), 8 MB receive
+// buffer.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/time.h"
+
+namespace mpr::tcp {
+
+class MetricsCache;
+
+struct TcpConfig {
+  /// Maximum segment payload (bytes). 1400 leaves room for TCP/MPTCP options
+  /// within a 1500-byte MTU.
+  std::uint32_t mss{1400};
+
+  std::uint32_t initial_cwnd_segments{10};
+
+  /// Initial slow-start threshold in bytes. The paper pins this to 64 KB to
+  /// avoid cellular RTT inflation from an unbounded slow start; set to
+  /// `kInfiniteSsthresh` to reproduce the Linux default for the ablation.
+  std::uint64_t initial_ssthresh{64 * 1024};
+
+  std::uint64_t receive_buffer{8 * 1024 * 1024};
+
+  sim::Duration min_rto{sim::Duration::millis(200)};  // Linux TCP_RTO_MIN
+  sim::Duration initial_rto{sim::Duration::seconds(1)};
+  sim::Duration max_rto{sim::Duration::seconds(60)};
+  int max_syn_retries{6};
+
+  std::uint32_t dupack_threshold{3};
+  bool sack_enabled{true};
+
+  /// F-RTO spurious-timeout detection (RFC 5682). After an RTO, instead of
+  /// immediately go-back-N retransmitting, probe with new data; if the next
+  /// ACKs advance past the probe the timeout was spurious (a delay spike,
+  /// not loss) and the congestion state is restored. Off by default — the
+  /// kernel the paper measured (3.5) shipped with it disabled, and the
+  /// cellular "loss rates" of Tables 2/5 include exactly the spurious
+  /// retransmission bursts F-RTO suppresses (see the ablation bench).
+  bool frto_enabled{false};
+
+  bool delayed_ack{true};
+  sim::Duration delack_timeout{sim::Duration::millis(40)};
+  /// Linux-style quick-ack phase: the first N data segments are acknowledged
+  /// immediately so slow start is not throttled at connection startup.
+  std::uint32_t quickack_segments{16};
+
+  /// Per-destination metric cache (Linux tcp_metrics). Null — the paper's
+  /// testbed setting (§3.1) — disables caching; otherwise new connections
+  /// inherit the cached post-loss ssthresh and store updates on loss.
+  /// Non-owning; must outlive every endpoint configured with it.
+  MetricsCache* metrics_cache{nullptr};
+};
+
+inline constexpr std::uint64_t kInfiniteSsthresh = std::numeric_limits<std::uint64_t>::max();
+
+}  // namespace mpr::tcp

@@ -1,0 +1,39 @@
+#include "tcp/congestion.h"
+
+namespace mpr::tcp {
+
+void RenoFamilyCc::on_ack(FlowCc& flow, std::uint64_t acked_bytes) {
+  note_bytes_acked(flow, acked_bytes);
+  if (flow.in_slow_start()) {
+    // Standard slow start with appropriate byte counting: grow by the number
+    // of bytes acknowledged (doubles the window per RTT with per-packet
+    // ACKs; RFC 5681 §3.1).
+    const double headroom =
+        static_cast<double>(flow.ssthresh_bytes()) - flow.cwnd_bytes();
+    const double ss_inc = std::min(static_cast<double>(acked_bytes), headroom);
+    flow.set_cwnd_bytes(flow.cwnd_bytes() + ss_inc);
+    const double leftover = static_cast<double>(acked_bytes) - ss_inc;
+    if (leftover <= 0) return;
+    // Bytes beyond ssthresh continue in congestion avoidance below.
+    acked_bytes = static_cast<std::uint64_t>(leftover);
+  }
+  flow.set_cwnd_bytes(flow.cwnd_bytes() + ca_increase_bytes(flow, acked_bytes));
+}
+
+void RenoFamilyCc::on_loss_event(FlowCc& flow) {
+  note_loss(flow);
+  const double floor = 2.0 * flow.mss();
+  const double halved = std::max(flow.cwnd_bytes() / 2.0, floor);
+  flow.set_ssthresh_bytes(static_cast<std::uint64_t>(halved));
+  flow.set_cwnd_bytes(halved);
+}
+
+void RenoFamilyCc::on_rto(FlowCc& flow) {
+  note_loss(flow);
+  const double half_flight =
+      std::max(static_cast<double>(flow.bytes_in_flight()) / 2.0, 2.0 * flow.mss());
+  flow.set_ssthresh_bytes(static_cast<std::uint64_t>(half_flight));
+  flow.set_cwnd_bytes(static_cast<double>(flow.mss()));
+}
+
+}  // namespace mpr::tcp

@@ -1,0 +1,95 @@
+// Congestion-control interface.
+//
+// The controller is separated from the endpoint so that MPTCP can share one
+// controller instance across subflows (the couplings operate on the joint
+// state of all windows — §2.2.2 of the paper). Single-path TCP uses
+// NewRenoCc with a single registered flow.
+//
+// All controllers in the paper share the same slow-start and
+// multiplicative-decrease behaviour and differ only in the
+// congestion-avoidance increase; RenoFamilyCc factors that out.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace mpr::tcp {
+
+/// The controller's view of one flow's congestion state. Implemented by
+/// TcpEndpoint. Windows are in bytes (double, so sub-MSS increments
+/// accumulate); the CC formulas from the paper are expressed in MSS units
+/// and converted internally.
+class FlowCc {
+ public:
+  virtual ~FlowCc() = default;
+  [[nodiscard]] virtual double cwnd_bytes() const = 0;
+  virtual void set_cwnd_bytes(double w) = 0;
+  [[nodiscard]] virtual std::uint64_t ssthresh_bytes() const = 0;
+  virtual void set_ssthresh_bytes(std::uint64_t s) = 0;
+  [[nodiscard]] virtual std::uint32_t mss() const = 0;
+  /// Smoothed RTT; a sane positive default before the first sample.
+  [[nodiscard]] virtual sim::Duration srtt() const = 0;
+  [[nodiscard]] virtual std::uint64_t bytes_in_flight() const = 0;
+
+  [[nodiscard]] bool in_slow_start() const {
+    return cwnd_bytes() < static_cast<double>(ssthresh_bytes());
+  }
+};
+
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  /// Flows must register before generating events and unregister on close.
+  virtual void register_flow(FlowCc& flow) { flows_.push_back(&flow); }
+  virtual void unregister_flow(FlowCc& flow) {
+    std::erase(flows_, &flow);
+  }
+
+  /// New data acknowledged on `flow` (acked_bytes > 0).
+  virtual void on_ack(FlowCc& flow, std::uint64_t acked_bytes) = 0;
+  /// Loss event detected by fast retransmit (at most once per window).
+  virtual void on_loss_event(FlowCc& flow) = 0;
+  /// Retransmission timeout.
+  virtual void on_rto(FlowCc& flow) = 0;
+
+ protected:
+  [[nodiscard]] const std::vector<FlowCc*>& flows() const { return flows_; }
+
+ private:
+  std::vector<FlowCc*> flows_;
+};
+
+/// Common Reno-family behaviour: standard slow start below ssthresh, halve on
+/// loss (w <- w/2, floored at 2 MSS), collapse to 1 MSS on RTO. Subclasses
+/// supply the congestion-avoidance increase in bytes for `acked_bytes` of
+/// acknowledged data.
+class RenoFamilyCc : public CongestionControl {
+ public:
+  void on_ack(FlowCc& flow, std::uint64_t acked_bytes) override;
+  void on_loss_event(FlowCc& flow) override;
+  void on_rto(FlowCc& flow) override;
+
+ protected:
+  [[nodiscard]] virtual double ca_increase_bytes(FlowCc& flow, std::uint64_t acked_bytes) = 0;
+  /// Hook for per-flow bookkeeping (OLIA's inter-loss byte counters).
+  virtual void note_bytes_acked(FlowCc& /*flow*/, std::uint64_t /*acked*/) {}
+  virtual void note_loss(FlowCc& /*flow*/) {}
+};
+
+/// Plain TCP New Reno: w += 1/w per ACK in congestion avoidance. Used for
+/// single-path TCP and as MPTCP's "uncoupled reno" baseline (each subflow
+/// behaves as an independent New Reno flow — the paper's `reno`).
+class NewRenoCc final : public RenoFamilyCc {
+ protected:
+  double ca_increase_bytes(FlowCc& flow, std::uint64_t acked_bytes) override {
+    // Δw = MSS·MSS/w per MSS acked  ==  MSS·acked/w bytes per ack (ABC).
+    return static_cast<double>(flow.mss()) * static_cast<double>(acked_bytes) /
+           flow.cwnd_bytes();
+  }
+};
+
+}  // namespace mpr::tcp

@@ -1,0 +1,725 @@
+#include "tcp/endpoint.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "tcp/metrics_cache.h"
+
+namespace mpr::tcp {
+
+namespace {
+constexpr sim::Duration kRtoGranularity = sim::Duration::millis(1);
+}
+
+TcpEndpoint::TcpEndpoint(net::Host& host, net::SocketAddr local, net::SocketAddr remote,
+                         TcpConfig config, CongestionControl* cc)
+    : host_{host},
+      local_{local},
+      remote_{remote},
+      config_{config},
+      rto_{config.initial_rto} {
+  if (cc == nullptr) {
+    owned_cc_ = std::make_unique<NewRenoCc>();
+    cc_ = owned_cc_.get();
+  } else {
+    cc_ = cc;
+  }
+  cc_->register_flow(*this);
+  cwnd_ = static_cast<double>(config_.initial_cwnd_segments) * config_.mss;
+  ssthresh_ = config_.initial_ssthresh;
+  if (config_.metrics_cache != nullptr) {
+    // Linux tcp_metrics: inherit the cached post-loss ssthresh (§3.1 —
+    // the paper disables this; see TcpConfig::metrics_cache).
+    if (const auto cached = config_.metrics_cache->lookup_ssthresh(remote_.addr)) {
+      ssthresh_ = std::max<std::uint64_t>(*cached, 2 * config_.mss);
+    }
+  }
+  quickack_left_ = config_.quickack_segments;
+  host_.register_flow(net::FlowKey{local_, remote_},
+                      [this](net::Packet p) { on_packet(std::move(p)); });
+}
+
+TcpEndpoint::~TcpEndpoint() {
+  cancel_rto();
+  cancel_delack();
+  host_.unregister_flow(net::FlowKey{local_, remote_});
+  cc_->unregister_flow(*this);
+}
+
+// --------------------------------------------------------------------------
+// Application interface.
+
+void TcpEndpoint::connect() {
+  assert(state_ == TcpState::kClosed);
+  state_ = TcpState::kSynSent;
+  metrics_.first_syn_time = sim().now();
+  snd_una_ = 0;
+  snd_nxt_ = 1;  // SYN occupies seq 0
+  send_syn(/*with_ack=*/false);
+  arm_rto();
+}
+
+void TcpEndpoint::accept_syn(const net::Packet& syn) {
+  assert(state_ == TcpState::kClosed);
+  assert(syn.tcp.has(net::kFlagSyn));
+  state_ = TcpState::kSynReceived;
+  metrics_.first_syn_time = sim().now();
+  rcv_nxt_ = syn.tcp.seq + 1;
+  peer_rwnd_ = syn.tcp.wnd;
+  process_options(syn);
+  snd_una_ = 0;
+  snd_nxt_ = 1;
+  send_syn(/*with_ack=*/true);
+  arm_rto();
+}
+
+void TcpEndpoint::write(std::uint64_t bytes) {
+  app_pending_ += bytes;
+  if (state_ == TcpState::kEstablished || state_ == TcpState::kCloseWait) pump();
+}
+
+void TcpEndpoint::shutdown_write() {
+  fin_requested_ = true;
+  if (state_ == TcpState::kEstablished || state_ == TcpState::kCloseWait) pump();
+}
+
+void TcpEndpoint::abort() {
+  cancel_rto();
+  cancel_delack();
+  state_ = TcpState::kClosed;
+}
+
+// --------------------------------------------------------------------------
+// Sending.
+
+std::uint64_t TcpEndpoint::bytes_in_flight() const {
+  const std::uint64_t outstanding = snd_nxt_ - snd_una_;
+  const std::uint64_t discounted = sacked_bytes_ + lost_bytes_;
+  return outstanding > discounted ? outstanding - discounted : 0;
+}
+
+std::uint64_t TcpEndpoint::send_window() const {
+  return std::min(static_cast<std::uint64_t>(cwnd_), peer_rwnd_);
+}
+
+void TcpEndpoint::pump() {
+  if (pumping_) return;
+  if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait) return;
+  pumping_ = true;
+  while (true) {
+    const std::uint64_t wnd = send_window();
+    std::uint64_t flight = bytes_in_flight();
+
+    // Retransmissions of lost-marked segments take priority.
+    if (lost_bytes_ > 0 && flight < wnd) {
+      auto it = std::find_if(unacked_.begin(), unacked_.end(),
+                             [](const auto& kv) { return kv.second.lost; });
+      if (it != unacked_.end()) {
+        retransmit(it->first);
+        continue;
+      }
+    }
+
+    if (flight >= wnd) break;
+    const std::uint64_t room = wnd - flight;
+    if (room < config_.mss && flight > 0) break;  // avoid silly-window segments
+
+    const auto chunk = next_chunk(static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(room, config_.mss)));
+    if (!chunk || chunk->len == 0) {
+      maybe_send_fin();
+      break;
+    }
+    send_segment_new(*chunk);
+  }
+  pumping_ = false;
+}
+
+std::optional<TcpEndpoint::Chunk> TcpEndpoint::next_chunk(std::uint32_t max_len) {
+  if (app_pending_ == 0) return std::nullopt;
+  const std::uint32_t len =
+      static_cast<std::uint32_t>(std::min<std::uint64_t>(max_len, app_pending_));
+  app_pending_ -= len;
+  Chunk chunk;
+  chunk.len = len;
+  return chunk;
+}
+
+net::Packet TcpEndpoint::make_packet(std::uint8_t flags, std::uint64_t seq,
+                                     std::uint32_t payload) {
+  net::Packet p;
+  p.src = local_.addr;
+  p.dst = remote_.addr;
+  p.tcp.src_port = local_.port;
+  p.tcp.dst_port = remote_.port;
+  p.tcp.seq = seq;
+  p.tcp.flags = flags;
+  if ((flags & net::kFlagAck) != 0) p.tcp.ack = rcv_nxt_;
+  p.tcp.wnd = advertised_window();
+  p.payload_bytes = payload;
+  p.first_sent_time = sim().now();
+  if (config_.sack_enabled && (!ooo_.empty() || pending_dsack_)) fill_sack_blocks(p);
+  return p;
+}
+
+void TcpEndpoint::send_syn(bool with_ack) {
+  const std::uint8_t flags =
+      with_ack ? (net::kFlagSyn | net::kFlagAck) : net::kFlagSyn;
+  net::Packet p = make_packet(flags, 0, 0);
+  syn_sent_time_ = sim().now();
+  decorate_outgoing(p);
+  host_.send(std::move(p));
+}
+
+void TcpEndpoint::send_segment_new(Chunk chunk) {
+  SegInfo seg;
+  seg.len = chunk.len;
+  seg.dsn = chunk.dsn;
+  seg.data_fin = chunk.data_fin;
+  seg.sent_time = sim().now();
+  const std::uint64_t seq = snd_nxt_;
+  unacked_.emplace(seq, seg);
+  snd_nxt_ += chunk.len;
+
+  net::Packet p = make_packet(net::kFlagAck, seq, chunk.len);
+  if (chunk.dsn) {
+    p.tcp.dss = net::DssOption{.dsn = *chunk.dsn, .length = chunk.len,
+                               .data_fin = chunk.data_fin};
+  }
+  decorate_outgoing(p);
+  ++metrics_.data_packets_sent;
+  metrics_.bytes_sent += chunk.len;
+  segs_since_ack_ = 0;  // data carries a piggybacked ACK
+  cancel_delack();
+  host_.send(std::move(p));
+  if (rto_timer_ == sim::kInvalidEventId) arm_rto();
+}
+
+void TcpEndpoint::retransmit(std::uint64_t seq) {
+  const auto it = unacked_.find(seq);
+  if (it == unacked_.end()) return;
+  SegInfo& seg = it->second;
+  if (seg.sacked) return;
+  if (seg.lost) {
+    seg.lost = false;
+    lost_bytes_ -= seg.len;
+  }
+  ++seg.rexmits;
+  seg.rexmitted_this_recovery = true;
+  seg.sent_time = sim().now();
+
+  std::uint8_t flags = net::kFlagAck;
+  std::uint32_t payload = seg.len;
+  if (seg.fin) {
+    flags |= net::kFlagFin;
+    payload = 0;
+  }
+  net::Packet p = make_packet(flags, seq, payload);
+  if (seg.dsn) {
+    p.tcp.dss = net::DssOption{.dsn = *seg.dsn, .length = payload, .data_fin = seg.data_fin};
+  }
+  p.is_retransmit = true;
+  decorate_outgoing(p);
+  if (!seg.fin) {
+    ++metrics_.rexmit_packets;
+    ++metrics_.data_packets_sent;
+    metrics_.bytes_sent += payload;
+  }
+  host_.send(std::move(p));
+  if (rto_timer_ == sim::kInvalidEventId) arm_rto();
+}
+
+void TcpEndpoint::maybe_send_fin() {
+  if (!fin_requested_ || fin_sent_ || app_pending_ > 0) return;
+  // FIN occupies one sequence number; reuse segment machinery (len = 1).
+  SegInfo seg;
+  seg.len = 1;
+  seg.fin = true;
+  seg.sent_time = sim().now();
+  const std::uint64_t seq = snd_nxt_;
+  unacked_.emplace(seq, seg);
+  snd_nxt_ += 1;
+  fin_sent_ = true;
+
+  net::Packet p = make_packet(net::kFlagFin | net::kFlagAck, seq, 0);
+  decorate_outgoing(p);
+  host_.send(std::move(p));
+  if (rto_timer_ == sim::kInvalidEventId) arm_rto();
+  state_ = (state_ == TcpState::kCloseWait) ? TcpState::kLastAck : TcpState::kFinWait;
+}
+
+// --------------------------------------------------------------------------
+// Packet reception.
+
+void TcpEndpoint::on_packet(net::Packet p) {
+  switch (state_) {
+    case TcpState::kClosed:
+    case TcpState::kDone:
+      return;
+    case TcpState::kSynSent:
+      handle_syn_sent(p);
+      return;
+    case TcpState::kSynReceived:
+      handle_syn_received(p);
+      return;
+    default:
+      break;
+  }
+  process_options(p);
+  process_ack_side(p);
+  process_data_side(p);
+}
+
+void TcpEndpoint::handle_syn_sent(const net::Packet& p) {
+  if (!p.tcp.has(net::kFlagSyn) || !p.tcp.has(net::kFlagAck)) return;
+  if (p.tcp.ack != 1) return;
+  process_options(p);
+  rcv_nxt_ = p.tcp.seq + 1;
+  snd_una_ = 1;
+  peer_rwnd_ = p.tcp.wnd;
+  rtt_sample(sim().now() - syn_sent_time_);
+  cancel_rto();
+  become_established();
+  send_ack_now();
+  pump();
+}
+
+void TcpEndpoint::handle_syn_received(const net::Packet& p) {
+  if (p.tcp.has(net::kFlagSyn) && !p.tcp.has(net::kFlagAck)) {
+    // Duplicate SYN: our SYN-ACK was likely lost; resend.
+    send_syn(/*with_ack=*/true);
+    return;
+  }
+  if (!p.tcp.has(net::kFlagAck) || p.tcp.ack < 1) return;
+  snd_una_ = 1;
+  peer_rwnd_ = p.tcp.wnd;
+  rtt_sample(sim().now() - syn_sent_time_);
+  cancel_rto();
+  become_established();
+  // The establishing ACK may carry options and even data.
+  process_options(p);
+  process_ack_side(p);
+  process_data_side(p);
+}
+
+void TcpEndpoint::become_established() {
+  state_ = TcpState::kEstablished;
+  metrics_.established_time = sim().now();
+  syn_retries_ = 0;
+  handle_established();
+  if (on_established) on_established();
+  pump();
+}
+
+void TcpEndpoint::process_options(const net::Packet& /*p*/) {}
+void TcpEndpoint::decorate_outgoing(net::Packet& /*p*/) {}
+
+void TcpEndpoint::process_ack_side(const net::Packet& p) {
+  if (!p.tcp.has(net::kFlagAck)) return;
+  peer_rwnd_ = p.tcp.wnd;
+  if (config_.sack_enabled && !p.tcp.sack.empty()) process_sack(p.tcp.sack);
+
+  const std::uint64_t ack = p.tcp.ack;
+  if (ack > snd_una_) {
+    const std::uint64_t acked = ack - snd_una_;
+    std::optional<sim::Duration> sample;
+    bool fin_acked = false;
+    while (!unacked_.empty()) {
+      auto it = unacked_.begin();
+      const std::uint64_t seg_end = it->first + it->second.len;
+      if (seg_end > ack) break;
+      SegInfo& seg = it->second;
+      if (seg.sacked) sacked_bytes_ -= seg.len;
+      if (seg.lost) lost_bytes_ -= seg.len;
+      if (seg.rexmits == 0) sample = sim().now() - seg.sent_time;  // Karn's rule
+      if (seg.fin) fin_acked = true;
+      unacked_.erase(it);
+    }
+    snd_una_ = ack;
+    metrics_.bytes_acked += acked;
+    dupacks_ = 0;
+    consecutive_timeouts_ = 0;
+    if (sample) rtt_sample(*sample);
+
+    if (frto_active_) {
+      if (ack > frto_rexmit_end_) {
+        // Progress beyond the probe: original transmissions are arriving.
+        frto_spurious();
+      } else if (++frto_inconclusive_acks_ >= 2) {
+        // Two ACKs stuck at the probe (RFC 5682 two-ACK discrimination):
+        // only the retransmission got through — genuine loss.
+        frto_genuine_loss();
+      }
+    }
+
+    if (fin_acked) {
+      if (state_ == TcpState::kLastAck) state_ = TcpState::kDone;
+      // kFinWait: remain until the peer's FIN arrives (handled in data side).
+    }
+
+    if (in_recovery_) {
+      if (ack >= recovery_point_) {
+        in_recovery_ = false;
+        recovery_is_loss_ = false;
+      } else {
+        // NewReno partial ACK: the next unacked segment is a hole.
+        if (!unacked_.empty()) {
+          auto& [hseq, hseg] = *unacked_.begin();
+          if (!hseg.sacked && !hseg.rexmitted_this_recovery && !hseg.lost) {
+            hseg.lost = true;
+            lost_bytes_ += hseg.len;
+          }
+        }
+        if (recovery_is_loss_) cc_->on_ack(*this, acked);  // post-RTO slow start
+      }
+    } else {
+      cc_->on_ack(*this, acked);
+    }
+    update_loss_marks();
+    restart_rto_if_needed();
+    pump();
+    return;
+  }
+
+  if (ack == snd_una_ && p.payload_bytes == 0 &&
+      !p.tcp.has(net::kFlagSyn) && !p.tcp.has(net::kFlagFin) && snd_nxt_ > snd_una_) {
+    const bool is_dsack = !p.tcp.sack.empty() && p.tcp.sack.front().end <= snd_una_;
+    if (is_dsack) return;  // duplicate arrival, not a loss signal (RFC 2883)
+    ++dupacks_;
+    ++metrics_.dupacks;
+    if (frto_active_) frto_genuine_loss();
+    update_loss_marks();
+    if (!in_recovery_ &&
+        (dupacks_ >= config_.dupack_threshold ||
+         sacked_bytes_ >= static_cast<std::uint64_t>(config_.dupack_threshold) * config_.mss)) {
+      enter_recovery(/*loss_state=*/false);
+    }
+    pump();  // SACK may have freed pipe space
+  }
+}
+
+void TcpEndpoint::process_sack(const std::vector<net::SackBlock>& blocks) {
+  for (const net::SackBlock& b : blocks) {
+    for (auto it = unacked_.lower_bound(b.begin); it != unacked_.end() && it->first < b.end;
+         ++it) {
+      SegInfo& seg = it->second;
+      const std::uint64_t seg_end = it->first + seg.len;
+      if (seg.sacked || seg_end > b.end) continue;
+      seg.sacked = true;
+      sacked_bytes_ += seg.len;
+      if (seg.lost) {
+        seg.lost = false;
+        lost_bytes_ -= seg.len;
+      }
+      highest_sacked_ = std::max(highest_sacked_, seg_end);
+    }
+  }
+}
+
+void TcpEndpoint::update_loss_marks() {
+  if (!config_.sack_enabled || highest_sacked_ <= snd_una_) return;
+  const std::uint64_t lookahead =
+      static_cast<std::uint64_t>(config_.dupack_threshold - 1) * config_.mss;
+  bool marked = false;
+  for (auto& [seq, seg] : unacked_) {
+    if (seq + seg.len + lookahead > highest_sacked_) break;
+    if (seg.sacked || seg.lost || seg.rexmitted_this_recovery) continue;
+    seg.lost = true;
+    lost_bytes_ += seg.len;
+    marked = true;
+  }
+  if (marked && !in_recovery_) enter_recovery(/*loss_state=*/false);
+}
+
+void TcpEndpoint::enter_recovery(bool loss_state) {
+  in_recovery_ = true;
+  recovery_is_loss_ = loss_state;
+  recovery_point_ = snd_nxt_;
+  for (auto& [seq, seg] : unacked_) seg.rexmitted_this_recovery = false;
+  if (loss_state) return;  // RTO path: cc_->on_rto already applied
+
+  cc_->on_loss_event(*this);
+  note_ssthresh_for_cache();
+  ++metrics_.fast_retransmit_events;
+  // Fast-retransmit the first unsacked hole immediately.
+  for (auto& [seq, seg] : unacked_) {
+    if (seg.sacked) continue;
+    if (!seg.lost) {
+      seg.lost = true;
+      lost_bytes_ += seg.len;
+    }
+    retransmit(seq);
+    break;
+  }
+}
+
+void TcpEndpoint::process_data_side(const net::Packet& p) {
+  const std::uint64_t seq = p.tcp.seq;
+
+  if (p.tcp.has(net::kFlagFin)) {
+    peer_fin_seen_ = true;
+    peer_fin_seq_ = seq + p.payload_bytes;
+  }
+
+  bool need_ack = false;
+  bool out_of_order = false;
+
+  if (p.payload_bytes > 0) {
+    ++metrics_.data_packets_received;
+    need_ack = true;
+    if (seq == rcv_nxt_) {
+      metrics_.bytes_received += p.payload_bytes;
+      metrics_.last_data_rx_time = sim().now();
+      handle_data(seq - 1, p.payload_bytes, p.tcp.dss);
+      rcv_nxt_ += p.payload_bytes;
+      deliver_in_order();
+    } else if (seq > rcv_nxt_) {
+      ++metrics_.out_of_order_packets;
+      out_of_order = true;
+      if (ooo_.find(seq) == ooo_.end()) {
+        ooo_.emplace(seq, RxSeg{p.payload_bytes, p.tcp.dss});
+        ooo_bytes_ += p.payload_bytes;
+      }
+    } else {
+      out_of_order = true;  // stale duplicate: ack immediately, report DSACK
+      if (config_.sack_enabled) {
+        pending_dsack_ = net::SackBlock{seq, seq + p.payload_bytes};
+      }
+    }
+  }
+
+  if (peer_fin_seen_ && rcv_nxt_ == peer_fin_seq_) {
+    rcv_nxt_ = peer_fin_seq_ + 1;
+    peer_fin_seen_ = false;
+    need_ack = true;
+    if (on_peer_fin) on_peer_fin();
+    if (state_ == TcpState::kEstablished) {
+      state_ = TcpState::kCloseWait;
+    } else if (state_ == TcpState::kFinWait) {
+      state_ = TcpState::kDone;
+    }
+  } else if (p.tcp.has(net::kFlagFin)) {
+    need_ack = true;  // FIN arrived out of order; ack current rcv_nxt
+  }
+
+  if (need_ack) ack_received_data(out_of_order);
+}
+
+void TcpEndpoint::deliver_in_order() {
+  while (!ooo_.empty()) {
+    auto it = ooo_.begin();
+    if (it->first != rcv_nxt_) break;
+    metrics_.bytes_received += it->second.len;
+    metrics_.last_data_rx_time = sim().now();
+    handle_data(it->first - 1, it->second.len, it->second.dss);
+    rcv_nxt_ += it->second.len;
+    ooo_bytes_ -= it->second.len;
+    ooo_.erase(it);
+  }
+}
+
+void TcpEndpoint::handle_data(std::uint64_t offset, std::uint32_t len,
+                              const std::optional<net::DssOption>& /*dss*/) {
+  if (on_data) on_data(offset, len);
+}
+
+// --------------------------------------------------------------------------
+// ACK generation.
+
+void TcpEndpoint::ack_received_data(bool out_of_order) {
+  if (out_of_order || !config_.delayed_ack || quickack_left_ > 0) {
+    send_ack_now();
+    return;
+  }
+  if (++segs_since_ack_ >= 2) {
+    send_ack_now();
+    return;
+  }
+  if (delack_timer_ == sim::kInvalidEventId) {
+    delack_timer_ = sim().after(config_.delack_timeout, [this] {
+      delack_timer_ = sim::kInvalidEventId;
+      send_ack_now();
+    });
+  }
+}
+
+void TcpEndpoint::send_ack_now() {
+  if (quickack_left_ > 0) --quickack_left_;
+  segs_since_ack_ = 0;
+  cancel_delack();
+  net::Packet p = make_packet(net::kFlagAck, snd_nxt_, 0);
+  decorate_outgoing(p);
+  host_.send(std::move(p));
+}
+
+void TcpEndpoint::fill_sack_blocks(net::Packet& p) {
+  // DSACK first (RFC 2883), then merged out-of-order runs (up to 3 total).
+  if (pending_dsack_) {
+    p.tcp.sack.push_back(*pending_dsack_);
+    pending_dsack_.reset();
+  }
+  std::uint64_t run_begin = 0;
+  std::uint64_t run_end = 0;
+  bool in_run = false;
+  for (const auto& [seq, seg] : ooo_) {
+    if (in_run && seq == run_end) {
+      run_end += seg.len;
+      continue;
+    }
+    if (in_run) {
+      p.tcp.sack.push_back(net::SackBlock{run_begin, run_end});
+      if (p.tcp.sack.size() >= 3) return;
+    }
+    run_begin = seq;
+    run_end = seq + seg.len;
+    in_run = true;
+  }
+  if (in_run && p.tcp.sack.size() < 3) {
+    p.tcp.sack.push_back(net::SackBlock{run_begin, run_end});
+  }
+}
+
+std::uint64_t TcpEndpoint::advertised_window() const {
+  return config_.receive_buffer > ooo_bytes_ ? config_.receive_buffer - ooo_bytes_ : 0;
+}
+
+std::vector<TcpEndpoint::OutstandingMapping> TcpEndpoint::outstanding_mappings() const {
+  std::vector<OutstandingMapping> out;
+  out.reserve(unacked_.size());
+  for (const auto& [seq, seg] : unacked_) {
+    if (seg.dsn && !seg.fin) out.push_back(OutstandingMapping{*seg.dsn, seg.len});
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Timers and RTT estimation.
+
+void TcpEndpoint::arm_rto() {
+  cancel_rto();
+  rto_timer_ = sim().after(rto_, [this] {
+    rto_timer_ = sim::kInvalidEventId;
+    on_rto_timer();
+  });
+}
+
+void TcpEndpoint::cancel_rto() {
+  if (rto_timer_ != sim::kInvalidEventId) {
+    sim().cancel(rto_timer_);
+    rto_timer_ = sim::kInvalidEventId;
+  }
+}
+
+void TcpEndpoint::restart_rto_if_needed() {
+  if (snd_una_ < snd_nxt_) {
+    arm_rto();
+  } else {
+    cancel_rto();
+  }
+}
+
+void TcpEndpoint::cancel_delack() {
+  if (delack_timer_ != sim::kInvalidEventId) {
+    sim().cancel(delack_timer_);
+    delack_timer_ = sim::kInvalidEventId;
+  }
+}
+
+void TcpEndpoint::on_rto_timer() {
+  if (state_ == TcpState::kSynSent || state_ == TcpState::kSynReceived) {
+    if (++syn_retries_ > config_.max_syn_retries) {
+      state_ = TcpState::kClosed;
+      return;
+    }
+    send_syn(/*with_ack=*/state_ == TcpState::kSynReceived);
+    rto_ = std::min(rto_ * 2, config_.max_rto);
+    arm_rto();
+    return;
+  }
+  if (unacked_.empty()) return;
+
+  ++metrics_.timeouts;
+  ++consecutive_timeouts_;
+
+  if (config_.frto_enabled) {
+    // F-RTO: retransmit only the head and let the next ACKs decide whether
+    // the timeout was spurious (delay spike) or a real loss.
+    if (!frto_active_) {
+      frto_prior_cwnd_ = cwnd_;
+      frto_prior_ssthresh_ = ssthresh_;
+    }
+    cc_->on_rto(*this);
+    note_ssthresh_for_cache();
+    frto_active_ = true;
+    frto_inconclusive_acks_ = 0;
+    const auto head = unacked_.begin();
+    frto_rexmit_end_ = head->first + head->second.len;
+    retransmit(head->first);
+    rto_ = std::min(rto_ * 2, config_.max_rto);
+    arm_rto();
+    handle_rto();
+    return;
+  }
+
+  cc_->on_rto(*this);
+  note_ssthresh_for_cache();
+  enter_recovery(/*loss_state=*/true);
+  // Everything outstanding is presumed lost; retransmission is clocked by
+  // the (collapsed) window as ACKs return.
+  mark_all_outstanding_lost();
+  retransmit(unacked_.begin()->first);
+  rto_ = std::min(rto_ * 2, config_.max_rto);
+  arm_rto();
+  handle_rto();
+}
+
+void TcpEndpoint::mark_all_outstanding_lost() {
+  for (auto& [seq, seg] : unacked_) {
+    if (!seg.sacked && !seg.lost) {
+      seg.lost = true;
+      lost_bytes_ += seg.len;
+    }
+  }
+}
+
+void TcpEndpoint::frto_spurious() {
+  // The original flight is being acknowledged: the timeout was a delay
+  // spike. Undo the congestion response (RFC 5682 + RFC 4015 response).
+  frto_active_ = false;
+  cwnd_ = std::max(cwnd_, frto_prior_cwnd_);
+  ssthresh_ = std::max(ssthresh_, frto_prior_ssthresh_);
+}
+
+void TcpEndpoint::frto_genuine_loss() {
+  // Evidence of real loss after the RTO probe: fall back to conventional
+  // go-back-N timeout recovery (window stays collapsed).
+  frto_active_ = false;
+  if (unacked_.empty()) return;
+  enter_recovery(/*loss_state=*/true);
+  mark_all_outstanding_lost();
+}
+
+void TcpEndpoint::note_ssthresh_for_cache() {
+  // Linux caches the post-loss ssthresh for the destination; future
+  // connections start from it (§3.1 — disabled on the paper's testbed).
+  if (config_.metrics_cache != nullptr) {
+    config_.metrics_cache->store_ssthresh(remote_.addr, ssthresh_);
+  }
+}
+
+void TcpEndpoint::rtt_sample(sim::Duration sample) {
+  metrics_.rtt_samples.push_back(sample);
+  if (!have_rtt_) {
+    srtt_ = sample;
+    rttvar_ = sample / 2;
+    have_rtt_ = true;
+  } else {
+    const sim::Duration delta = sim::Duration::nanos(std::llabs((srtt_ - sample).ns()));
+    rttvar_ = rttvar_ * 3 / 4 + delta / 4;
+    srtt_ = srtt_ * 7 / 8 + sample / 8;
+  }
+  const sim::Duration candidate = srtt_ + std::max(rttvar_ * 4, kRtoGranularity);
+  rto_ = std::clamp(candidate, config_.min_rto, config_.max_rto);
+}
+
+}  // namespace mpr::tcp

@@ -1,0 +1,41 @@
+// Per-destination TCP metric caching (Linux's tcp_metrics).
+//
+// Stock Linux caches ssthresh per destination when a connection experiences
+// loss and initializes future connections to that destination with the
+// cached value. The paper (§3.1, citing Hurtig & Brunstrom) points out this
+// is harmful for short flows — one lossy episode curses every subsequent
+// connection with a tiny slow-start threshold — and disables it on the
+// testbed. This class implements the cache so the harm can be reproduced
+// (ablation bench); the default configuration leaves it off, as the paper
+// does.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "net/addr.h"
+
+namespace mpr::tcp {
+
+class MetricsCache {
+ public:
+  /// Records the post-loss ssthresh for a destination (overwrites).
+  void store_ssthresh(net::IpAddr dst, std::uint64_t ssthresh_bytes) {
+    ssthresh_[dst] = ssthresh_bytes;
+  }
+
+  [[nodiscard]] std::optional<std::uint64_t> lookup_ssthresh(net::IpAddr dst) const {
+    const auto it = ssthresh_.find(dst);
+    if (it == ssthresh_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void clear() { ssthresh_.clear(); }
+  [[nodiscard]] std::size_t size() const { return ssthresh_.size(); }
+
+ private:
+  std::unordered_map<net::IpAddr, std::uint64_t> ssthresh_;
+};
+
+}  // namespace mpr::tcp

@@ -1,0 +1,121 @@
+// End-to-end integration tests: full downloads over the simulated testbed
+// through the experiment harness, single-path and multipath.
+#include <gtest/gtest.h>
+
+#include "experiment/carriers.h"
+#include "experiment/run.h"
+#include "experiment/series.h"
+
+namespace mpr::experiment {
+namespace {
+
+TestbedConfig quiet_testbed(std::uint64_t seed) {
+  TestbedConfig tb;
+  tb.seed = seed;
+  return tb;
+}
+
+TEST(EndToEnd, SinglePathWifiSmallDownloadCompletes) {
+  RunConfig rc;
+  rc.mode = PathMode::kSingleWifi;
+  rc.file_bytes = 64 * 1024;
+  const RunResult r = run_download(quiet_testbed(1), rc);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.wifi.bytes_received, 64 * 1024u);
+  EXPECT_EQ(r.cellular.bytes_received, 0u);
+  // 64 KB over ~20 Mbit/s with ~20 ms RTT: well under a second.
+  EXPECT_LT(r.download_time_s, 1.0);
+  EXPECT_GT(r.download_time_s, 0.02);
+}
+
+TEST(EndToEnd, SinglePathCellularDownloadCompletes) {
+  RunConfig rc;
+  rc.mode = PathMode::kSingleCellular;
+  rc.file_bytes = 256 * 1024;
+  const RunResult r = run_download(quiet_testbed(2), rc);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.cellular.bytes_received, 256 * 1024u);
+  EXPECT_EQ(r.wifi.bytes_received, 0u);
+}
+
+TEST(EndToEnd, Mptcp2DownloadUsesBothPathsForLargeFiles) {
+  RunConfig rc;
+  rc.mode = PathMode::kMptcp2;
+  rc.file_bytes = 4 * 1024 * 1024;
+  const RunResult r = run_download(quiet_testbed(3), rc);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.wifi.bytes_received + r.cellular.bytes_received, 4 * 1024 * 1024u);
+  EXPECT_GT(r.wifi.bytes_received, 0u);
+  EXPECT_GT(r.cellular.bytes_received, 0u) << "cellular subflow never contributed";
+  EXPECT_EQ(r.wifi.subflows, 1u);
+  EXPECT_EQ(r.cellular.subflows, 1u);
+}
+
+TEST(EndToEnd, Mptcp4CreatesFourSubflows) {
+  RunConfig rc;
+  rc.mode = PathMode::kMptcp4;
+  rc.file_bytes = 4 * 1024 * 1024;
+  const RunResult r = run_download(quiet_testbed(4), rc);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.wifi.subflows, 2u);
+  EXPECT_EQ(r.cellular.subflows, 2u);
+}
+
+TEST(EndToEnd, DownloadTimeScalesWithFileSize) {
+  RunConfig small;
+  small.mode = PathMode::kMptcp2;
+  small.file_bytes = 64 * 1024;
+  RunConfig large = small;
+  large.file_bytes = 8 * 1024 * 1024;
+  const RunResult rs = run_download(quiet_testbed(5), small);
+  const RunResult rl = run_download(quiet_testbed(5), large);
+  ASSERT_TRUE(rs.completed);
+  ASSERT_TRUE(rl.completed);
+  EXPECT_GT(rl.download_time_s, rs.download_time_s * 3);
+}
+
+TEST(EndToEnd, DeterministicGivenSeed) {
+  RunConfig rc;
+  rc.mode = PathMode::kMptcp2;
+  rc.file_bytes = 512 * 1024;
+  const RunResult a = run_download(quiet_testbed(7), rc);
+  const RunResult b = run_download(quiet_testbed(7), rc);
+  ASSERT_TRUE(a.completed);
+  EXPECT_DOUBLE_EQ(a.download_time_s, b.download_time_s);
+  EXPECT_EQ(a.wifi.bytes_received, b.wifi.bytes_received);
+  EXPECT_EQ(a.cellular.bytes_received, b.cellular.bytes_received);
+}
+
+TEST(EndToEnd, AllCarriersComplete) {
+  for (const Carrier c : all_carriers()) {
+    TestbedConfig tb = quiet_testbed(11);
+    tb.cellular = carrier_profile(c);
+    RunConfig rc;
+    rc.mode = PathMode::kMptcp2;
+    rc.file_bytes = 1024 * 1024;
+    const RunResult r = run_download(tb, rc);
+    EXPECT_TRUE(r.completed) << to_string(c);
+  }
+}
+
+TEST(EndToEnd, OfoSamplesRecordedForMultipath) {
+  RunConfig rc;
+  rc.mode = PathMode::kMptcp2;
+  rc.file_bytes = 2 * 1024 * 1024;
+  const RunResult r = run_download(quiet_testbed(13), rc);
+  ASSERT_TRUE(r.completed);
+  // One OFO sample per delivered data packet (requests excluded at client).
+  EXPECT_GT(r.ofo_ms.size(), 1000u);
+}
+
+TEST(EndToEnd, SeriesProducesRequestedReps) {
+  RunConfig rc;
+  rc.mode = PathMode::kSingleWifi;
+  rc.file_bytes = 64 * 1024;
+  const auto rs = run_series(quiet_testbed(17), rc, 4, 99);
+  EXPECT_EQ(rs.size(), 4u);
+  for (const RunResult& r : rs) EXPECT_TRUE(r.completed);
+}
+
+}  // namespace
+}  // namespace mpr::experiment

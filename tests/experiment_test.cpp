@@ -1,0 +1,204 @@
+// Experiment-harness tests: series/matrix campaign mechanics, result
+// aggregation helpers, carrier mapping and table formatting.
+#include <gtest/gtest.h>
+
+#include "experiment/carriers.h"
+#include "experiment/run.h"
+#include "experiment/series.h"
+#include "experiment/table.h"
+
+namespace mpr::experiment {
+namespace {
+
+RunConfig quick_run() {
+  RunConfig rc;
+  rc.mode = PathMode::kSingleWifi;
+  rc.file_bytes = 64 << 10;
+  return rc;
+}
+
+TEST(Carriers, MappingAndNames) {
+  EXPECT_EQ(to_string(Carrier::kAtt), "AT&T");
+  EXPECT_EQ(to_string(Carrier::kVerizon), "Verizon");
+  EXPECT_EQ(to_string(Carrier::kSprint), "Sprint");
+  EXPECT_EQ(carrier_profile(Carrier::kAtt).name, "att_lte");
+  EXPECT_EQ(carrier_profile(Carrier::kVerizon).name, "verizon_lte");
+  EXPECT_EQ(carrier_profile(Carrier::kSprint).name, "sprint_evdo");
+  EXPECT_EQ(all_carriers().size(), 3u);
+}
+
+TEST(Carriers, PathModeNames) {
+  EXPECT_EQ(to_string(PathMode::kSingleWifi), "SP-WiFi");
+  EXPECT_EQ(to_string(PathMode::kSingleCellular), "SP-Cell");
+  EXPECT_EQ(to_string(PathMode::kMptcp2), "MP-2");
+  EXPECT_EQ(to_string(PathMode::kMptcp4), "MP-4");
+}
+
+TEST(Series, PeriodsCycleThroughDay) {
+  EXPECT_EQ(period_name(0), "night");
+  EXPECT_EQ(period_name(1), "morning");
+  EXPECT_EQ(period_name(2), "afternoon");
+  EXPECT_EQ(period_name(3), "evening");
+  EXPECT_EQ(period_name(4), "night");
+}
+
+TEST(Series, MatrixRunsEveryEntryEveryRep) {
+  TestbedConfig tb;
+  const std::vector<MatrixEntry> entries{
+      {"a", tb, quick_run()},
+      {"b", tb, quick_run()},
+  };
+  const auto results = run_matrix(entries, 3, 42);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results.at("a").size(), 3u);
+  EXPECT_EQ(results.at("b").size(), 3u);
+  for (const auto& [label, rs] : results) {
+    for (const RunResult& r : rs) EXPECT_TRUE(r.completed) << label;
+  }
+}
+
+TEST(Series, MatrixIsDeterministicForSeed) {
+  TestbedConfig tb;
+  const std::vector<MatrixEntry> entries{{"a", tb, quick_run()}};
+  const auto r1 = run_matrix(entries, 2, 7);
+  const auto r2 = run_matrix(entries, 2, 7);
+  ASSERT_EQ(r1.at("a").size(), r2.at("a").size());
+  for (std::size_t i = 0; i < r1.at("a").size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1.at("a")[i].download_time_s, r2.at("a")[i].download_time_s);
+  }
+}
+
+TEST(Series, DifferentSeedsGiveDifferentResults) {
+  TestbedConfig tb;
+  const std::vector<MatrixEntry> entries{{"a", tb, quick_run()}};
+  const auto r1 = run_matrix(entries, 1, 7);
+  const auto r2 = run_matrix(entries, 1, 8);
+  EXPECT_NE(r1.at("a")[0].download_time_s, r2.at("a")[0].download_time_s);
+}
+
+TEST(Series, AggregationHelpers) {
+  RunResult a;
+  a.completed = true;
+  a.download_time_s = 1.0;
+  a.wifi.bytes_received = 750;
+  a.cellular.bytes_received = 250;
+  a.wifi.rtt_ms = {10, 20};
+  a.cellular.rtt_ms = {100};
+  a.cellular.data_packets_sent = 100;
+  a.cellular.rexmit_packets = 2;
+  a.ofo_ms = {0, 10};
+  RunResult b = a;
+  b.download_time_s = 3.0;
+  b.cellular.bytes_received = 750;
+  b.wifi.bytes_received = 250;
+
+  const std::vector<RunResult> rs{a, b};
+  EXPECT_DOUBLE_EQ(download_time_summary(rs).mean, 2.0);
+  EXPECT_DOUBLE_EQ(mean_cellular_fraction(rs), 0.5);
+  EXPECT_EQ(pooled_rtt_ms(rs, false).size(), 4u);
+  EXPECT_EQ(pooled_rtt_ms(rs, true).size(), 2u);
+  EXPECT_EQ(pooled_ofo_ms(rs).size(), 4u);
+  const auto loss = loss_rates_percent(rs, true);
+  ASSERT_EQ(loss.size(), 2u);
+  EXPECT_DOUBLE_EQ(loss[0], 2.0);
+  const auto rtts = per_run_mean_rtt_ms(rs, false);
+  ASSERT_EQ(rtts.size(), 2u);
+  EXPECT_DOUBLE_EQ(rtts[0], 15.0);
+  const auto ofo = per_run_mean_ofo_ms(rs);
+  ASSERT_EQ(ofo.size(), 2u);
+  EXPECT_DOUBLE_EQ(ofo[0], 5.0);
+}
+
+TEST(Series, IncompleteRunsExcludedFromDownloadSummary) {
+  RunResult ok;
+  ok.completed = true;
+  ok.download_time_s = 1.0;
+  RunResult bad;
+  bad.completed = false;
+  bad.download_time_s = 3600.0;
+  const auto s = download_time_summary({ok, bad});
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 1.0);
+}
+
+TEST(RunResults, CellularFraction) {
+  RunResult r;
+  EXPECT_DOUBLE_EQ(r.cellular_fraction(), 0.0);  // no bytes: no division
+  r.wifi.bytes_received = 300;
+  r.cellular.bytes_received = 700;
+  EXPECT_DOUBLE_EQ(r.cellular_fraction(), 0.7);
+}
+
+TEST(RunResults, PathLossRate) {
+  PathStats ps;
+  EXPECT_DOUBLE_EQ(ps.loss_rate(), 0.0);
+  ps.data_packets_sent = 200;
+  ps.rexmit_packets = 5;
+  EXPECT_DOUBLE_EQ(ps.loss_rate(), 0.025);
+}
+
+TEST(Table, Formatting) {
+  EXPECT_EQ(fmt_size(64 << 10), "64KB");
+  EXPECT_EQ(fmt_size(4ull << 20), "4MB");
+  EXPECT_EQ(fmt_size(100), "100B");
+  EXPECT_EQ(fmt_scalar(1.2345, "s"), "1.23s");
+  EXPECT_EQ(fmt_scalar(1.2345, "ms", 1), "1.2ms");
+  analysis::Summary s;
+  s.min = 1;
+  s.q1 = 2;
+  s.median = 3;
+  s.q3 = 4;
+  s.max = 5;
+  EXPECT_EQ(fmt_box(s, "s"), "1.00/2.00/3.00/4.00/5.00s");
+}
+
+TEST(Run, PingWarmupAvoidsRrcPenalty) {
+  TestbedConfig tb;
+  tb.seed = 31;
+  RunConfig with;
+  with.mode = PathMode::kSingleCellular;
+  with.file_bytes = 64 << 10;
+  with.ping_warmup = true;
+  RunConfig without = with;
+  without.ping_warmup = false;
+  const RunResult warm = run_download(tb, with);
+  const RunResult cold = run_download(tb, without);
+  ASSERT_TRUE(warm.completed);
+  ASSERT_TRUE(cold.completed);
+  // Cold start pays the RRC promotion inside the measured download time.
+  EXPECT_GT(cold.download_time_s, warm.download_time_s + 0.2);
+}
+
+TEST(Run, TimeoutMarksIncomplete) {
+  TestbedConfig tb;
+  tb.seed = 32;
+  RunConfig rc;
+  rc.mode = PathMode::kSingleCellular;
+  rc.file_bytes = 64 << 20;  // 64 MB
+  rc.timeout = sim::Duration::millis(300);
+  const RunResult r = run_download(tb, rc);
+  EXPECT_FALSE(r.completed);
+  EXPECT_DOUBLE_EQ(r.download_time_s, 0.3);
+}
+
+TEST(Run, LoadFactorScalesDifficulty) {
+  TestbedConfig calm;
+  calm.seed = 33;
+  calm.load_factor = 0.4;
+  TestbedConfig busy = calm;
+  busy.load_factor = 1.6;
+  RunConfig rc;
+  rc.mode = PathMode::kSingleCellular;
+  rc.file_bytes = 4 << 20;
+  double calm_total = 0;
+  double busy_total = 0;
+  for (int i = 0; i < 5; ++i) {
+    calm.seed = busy.seed = 33 + static_cast<std::uint64_t>(i);
+    calm_total += run_download(calm, rc).download_time_s;
+    busy_total += run_download(busy, rc).download_time_s;
+  }
+  EXPECT_GT(busy_total, calm_total);
+}
+
+}  // namespace
+}  // namespace mpr::experiment

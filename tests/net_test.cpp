@@ -1,0 +1,371 @@
+// Unit tests for the network substrate: packets, loss models, links
+// (serialization, queueing, FIFO ordering, gating), routing and host demux.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/host.h"
+#include "net/link.h"
+#include "net/loss.h"
+#include "net/network.h"
+#include "net/packet.h"
+#include "sim/simulation.h"
+
+namespace mpr::net {
+namespace {
+
+Packet make_data_packet(IpAddr src, IpAddr dst, std::uint32_t payload) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.tcp.src_port = 1000;
+  p.tcp.dst_port = 2000;
+  p.payload_bytes = payload;
+  return p;
+}
+
+TEST(PacketTest, WireBytesIncludesHeaders) {
+  Packet p = make_data_packet(IpAddr{1}, IpAddr{2}, 1000);
+  EXPECT_EQ(p.wire_bytes(), 1040u);  // 40-byte IP+TCP header
+}
+
+TEST(PacketTest, WireBytesIncludesOptions) {
+  Packet p = make_data_packet(IpAddr{1}, IpAddr{2}, 0);
+  const std::uint32_t base = p.wire_bytes();
+  p.tcp.dss = DssOption{};
+  EXPECT_EQ(p.wire_bytes(), base + 20);
+  p.tcp.sack.push_back(SackBlock{0, 10});
+  p.tcp.sack.push_back(SackBlock{20, 30});
+  EXPECT_EQ(p.wire_bytes(), base + 20 + 2 + 16);
+  p.tcp.mp_capable = MpCapableOption{};
+  p.tcp.mp_join = MpJoinOption{};
+  p.tcp.add_addr = AddAddrOption{};
+  EXPECT_EQ(p.wire_bytes(), base + 20 + 18 + 12 + 12 + 8);
+}
+
+TEST(PacketTest, FlagsAndFlowKey) {
+  Packet p = make_data_packet(IpAddr{1}, IpAddr{2}, 0);
+  p.tcp.flags = kFlagSyn | kFlagAck;
+  EXPECT_TRUE(p.tcp.has(kFlagSyn));
+  EXPECT_TRUE(p.tcp.has(kFlagAck));
+  EXPECT_FALSE(p.tcp.has(kFlagFin));
+  const FlowKey f = p.flow();
+  EXPECT_EQ(f.src.addr, IpAddr{1});
+  EXPECT_EQ(f.dst.port, 2000);
+  EXPECT_EQ(f.reversed().src.port, 2000);
+}
+
+TEST(PacketTest, ToStringRendersFlagsAndSeq) {
+  Packet p = make_data_packet(IpAddr{1}, IpAddr{2}, 99);
+  p.tcp.flags = kFlagSyn;
+  p.tcp.seq = 7;
+  const std::string s = to_string(p);
+  EXPECT_NE(s.find("[S]"), std::string::npos);
+  EXPECT_NE(s.find("seq=7"), std::string::npos);
+  EXPECT_NE(s.find("len=99"), std::string::npos);
+}
+
+TEST(LossTest, NoLossNeverDrops) {
+  NoLoss m;
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(m.should_drop());
+}
+
+TEST(LossTest, BernoulliMatchesProbability) {
+  sim::Simulation sim{3};
+  BernoulliLoss m{0.2, sim.rng("loss")};
+  int drops = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) drops += m.should_drop() ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(drops) / kTrials, 0.2, 0.015);
+}
+
+TEST(LossTest, GilbertElliottMatchesSteadyState) {
+  sim::Simulation sim{3};
+  GilbertElliottLoss::Params params{.p_good_to_bad = 0.01,
+                                    .p_bad_to_good = 0.2,
+                                    .loss_good = 0.005,
+                                    .loss_bad = 0.3};
+  GilbertElliottLoss m{params, sim.rng("ge")};
+  int drops = 0;
+  constexpr int kTrials = 200000;
+  for (int i = 0; i < kTrials; ++i) drops += m.should_drop() ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(drops) / kTrials, m.steady_state_loss(), 0.004);
+}
+
+TEST(LossTest, GilbertElliottIsBursty) {
+  // Consecutive drops should be far more common than under i.i.d. loss with
+  // the same average rate.
+  sim::Simulation sim{5};
+  GilbertElliottLoss::Params params{.p_good_to_bad = 0.004,
+                                    .p_bad_to_good = 0.25,
+                                    .loss_good = 0.001,
+                                    .loss_bad = 0.5};
+  GilbertElliottLoss m{params, sim.rng("ge")};
+  int drops = 0;
+  int consecutive = 0;
+  bool prev = false;
+  constexpr int kTrials = 300000;
+  for (int i = 0; i < kTrials; ++i) {
+    const bool d = m.should_drop();
+    drops += d ? 1 : 0;
+    if (d && prev) ++consecutive;
+    prev = d;
+  }
+  const double rate = static_cast<double>(drops) / kTrials;
+  const double p_consec = static_cast<double>(consecutive) / drops;
+  EXPECT_GT(p_consec, 3 * rate);  // i.i.d. would give ~rate
+}
+
+class LinkTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim{1};
+  std::vector<Packet> delivered;
+  std::vector<sim::TimePoint> times;
+
+  Link make_link(Link::Config cfg) {
+    return Link{sim, cfg, [this](Packet p) {
+                  delivered.push_back(std::move(p));
+                  times.push_back(sim.now());
+                }};
+  }
+};
+
+TEST_F(LinkTest, SerializationPlusPropagationDelay) {
+  // 1000B payload -> 1040B wire = 8320 bits at 8.32 Mbit/s = 1 ms, +5 ms prop.
+  Link link = make_link({.name = "l", .rate_bps = 8.32e6,
+                         .prop_delay = sim::Duration::millis(5),
+                         .queue_capacity_bytes = 100000});
+  link.send(make_data_packet(IpAddr{1}, IpAddr{2}, 1000));
+  sim.run();
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_NEAR(times[0].to_millis(), 6.0, 1e-6);
+}
+
+TEST_F(LinkTest, BackToBackPacketsSerialize) {
+  Link link = make_link({.name = "l", .rate_bps = 8.32e6,
+                         .prop_delay = sim::Duration::millis(5),
+                         .queue_capacity_bytes = 100000});
+  for (int i = 0; i < 3; ++i) link.send(make_data_packet(IpAddr{1}, IpAddr{2}, 1000));
+  sim.run();
+  ASSERT_EQ(delivered.size(), 3u);
+  EXPECT_NEAR(times[0].to_millis(), 6.0, 1e-6);
+  EXPECT_NEAR(times[1].to_millis(), 7.0, 1e-6);
+  EXPECT_NEAR(times[2].to_millis(), 8.0, 1e-6);
+}
+
+TEST_F(LinkTest, QueueOverflowDropsTail) {
+  Link link = make_link({.name = "l", .rate_bps = 1e6,
+                         .prop_delay = sim::Duration::millis(1),
+                         .queue_capacity_bytes = 3000});
+  for (int i = 0; i < 10; ++i) link.send(make_data_packet(IpAddr{1}, IpAddr{2}, 1000));
+  sim.run();
+  EXPECT_LT(delivered.size(), 10u);
+  EXPECT_GT(link.stats().packets_dropped_queue, 0u);
+  EXPECT_EQ(link.stats().packets_dropped_queue + link.stats().packets_delivered, 10u);
+}
+
+TEST_F(LinkTest, WireLossDropsButKeepsServing) {
+  Link link = make_link({.name = "l", .rate_bps = 1e9,
+                         .prop_delay = sim::Duration::millis(1),
+                         .queue_capacity_bytes = 1 << 20});
+  link.set_loss_model(std::make_unique<BernoulliLoss>(0.5, sim.rng("l")));
+  for (int i = 0; i < 2000; ++i) link.send(make_data_packet(IpAddr{1}, IpAddr{2}, 100));
+  sim.run();
+  EXPECT_GT(link.stats().packets_dropped_wire, 700u);
+  EXPECT_GT(delivered.size(), 700u);
+  EXPECT_EQ(link.stats().packets_dropped_wire + delivered.size(), 2000u);
+}
+
+TEST_F(LinkTest, ExtraDelayPreservesFifoOrder) {
+  // First packet gets +50 ms ARQ stall; second none. Delivery must stay
+  // in order (head-of-line blocking), not reorder.
+  Link link = make_link({.name = "l", .rate_bps = 1e9,
+                         .prop_delay = sim::Duration::millis(1),
+                         .queue_capacity_bytes = 1 << 20});
+  int count = 0;
+  link.set_extra_delay_fn([&count]() {
+    return (count++ == 0) ? sim::Duration::millis(50) : sim::Duration::zero();
+  });
+  Packet a = make_data_packet(IpAddr{1}, IpAddr{2}, 100);
+  a.tcp.seq = 1;
+  Packet b = make_data_packet(IpAddr{1}, IpAddr{2}, 100);
+  b.tcp.seq = 2;
+  link.send(std::move(a));
+  link.send(std::move(b));
+  sim.run();
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0].tcp.seq, 1u);
+  EXPECT_EQ(delivered[1].tcp.seq, 2u);
+  EXPECT_GE(times[1], times[0]);
+  EXPECT_GT(times[0].to_millis(), 50.0);
+}
+
+TEST_F(LinkTest, GateDefersServiceStart) {
+  Link link = make_link({.name = "l", .rate_bps = 1e9,
+                         .prop_delay = sim::Duration::millis(1),
+                         .queue_capacity_bytes = 1 << 20});
+  link.set_gate_fn([](sim::TimePoint now) {
+    return std::max(now, sim::TimePoint::origin() + sim::Duration::millis(300));
+  });
+  link.send(make_data_packet(IpAddr{1}, IpAddr{2}, 100));
+  sim.run();
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_GT(times[0].to_millis(), 300.0);
+}
+
+TEST_F(LinkTest, RateFnConsultedPerPacket) {
+  Link link = make_link({.name = "l", .rate_bps = 1e6,
+                         .prop_delay = sim::Duration::zero(),
+                         .queue_capacity_bytes = 1 << 20});
+  int calls = 0;
+  link.set_rate_fn([&calls]() {
+    ++calls;
+    return 1e9;
+  });
+  for (int i = 0; i < 5; ++i) link.send(make_data_packet(IpAddr{1}, IpAddr{2}, 100));
+  sim.run();
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(NetworkTest, RoutesViaUplinkBySource) {
+  sim::Simulation sim{1};
+  Network net{sim};
+  std::vector<Packet> at_server;
+  net.attach_host(IpAddr{10}, [&](Packet p) { at_server.push_back(std::move(p)); });
+  Link up{sim, {.name = "up", .rate_bps = 1e6, .prop_delay = sim::Duration::millis(3),
+                .queue_capacity_bytes = 1 << 20},
+          [&net](Packet p) { net.deliver_local(std::move(p)); }};
+  Link down{sim, {.name = "down", .rate_bps = 1e6, .prop_delay = sim::Duration::millis(3),
+                  .queue_capacity_bytes = 1 << 20},
+            [&net](Packet p) { net.deliver_local(std::move(p)); }};
+  net.set_access(IpAddr{1}, &up, &down);
+
+  net.send(make_data_packet(IpAddr{1}, IpAddr{10}, 100));
+  sim.run();
+  ASSERT_EQ(at_server.size(), 1u);
+  EXPECT_EQ(up.stats().packets_delivered, 1u);
+  EXPECT_EQ(down.stats().packets_delivered, 0u);
+}
+
+TEST(NetworkTest, RoutesViaDownlinkByDestination) {
+  sim::Simulation sim{1};
+  Network net{sim};
+  std::vector<Packet> at_client;
+  net.attach_host(IpAddr{1}, [&](Packet p) { at_client.push_back(std::move(p)); });
+  Link up{sim, {.name = "up", .rate_bps = 1e6, .prop_delay = sim::Duration::millis(3),
+                .queue_capacity_bytes = 1 << 20},
+          [&net](Packet p) { net.deliver_local(std::move(p)); }};
+  Link down{sim, {.name = "down", .rate_bps = 1e6, .prop_delay = sim::Duration::millis(3),
+                  .queue_capacity_bytes = 1 << 20},
+            [&net](Packet p) { net.deliver_local(std::move(p)); }};
+  net.set_access(IpAddr{1}, &up, &down);
+
+  net.send(make_data_packet(IpAddr{10}, IpAddr{1}, 100));
+  sim.run();
+  ASSERT_EQ(at_client.size(), 1u);
+  EXPECT_EQ(down.stats().packets_delivered, 1u);
+}
+
+TEST(NetworkTest, WiredFallbackWithoutAccessLinks) {
+  sim::Simulation sim{1};
+  Network net{sim};
+  std::vector<sim::TimePoint> times;
+  net.attach_host(IpAddr{10}, [&](Packet) { times.push_back(sim.now()); });
+  net.send(make_data_packet(IpAddr{11}, IpAddr{10}, 100));
+  sim.run();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(times[0] - sim::TimePoint::origin(), net.wired_delay());
+}
+
+TEST(NetworkTest, ObserversSeeSendAndDeliver) {
+  sim::Simulation sim{1};
+  Network net{sim};
+  net.attach_host(IpAddr{10}, [](Packet) {});
+  int sends = 0;
+  int delivers = 0;
+  net.add_observer([&](const TraceEvent& ev) {
+    if (ev.kind == TraceEvent::Kind::kSend) ++sends;
+    if (ev.kind == TraceEvent::Kind::kDeliver) ++delivers;
+  });
+  net.send(make_data_packet(IpAddr{11}, IpAddr{10}, 100));
+  sim.run();
+  EXPECT_EQ(sends, 1);
+  EXPECT_EQ(delivers, 1);
+}
+
+TEST(NetworkTest, UnattachedDestinationIsSilentlyDropped) {
+  sim::Simulation sim{1};
+  Network net{sim};
+  net.send(make_data_packet(IpAddr{11}, IpAddr{99}, 100));
+  sim.run();  // must not crash
+  SUCCEED();
+}
+
+TEST(HostTest, DemuxesByFlowKey) {
+  sim::Simulation sim{1};
+  Network net{sim};
+  Host host{sim, net, {IpAddr{1}, IpAddr{2}}};
+  int flow_a = 0;
+  int listener = 0;
+  const FlowKey key{SocketAddr{IpAddr{1}, 2000}, SocketAddr{IpAddr{10}, 1000}};
+  host.register_flow(key, [&](Packet) { ++flow_a; });
+  host.listen(2000, [&](Packet) { ++listener; });
+
+  net.send(make_data_packet(IpAddr{10}, IpAddr{1}, 10));  // ports 1000->2000
+  // A different remote port: should hit the listener, not the flow.
+  Packet other = make_data_packet(IpAddr{10}, IpAddr{1}, 10);
+  other.tcp.src_port = 1001;
+  net.send(std::move(other));
+  sim.run();
+  EXPECT_EQ(flow_a, 1);
+  EXPECT_EQ(listener, 1);
+}
+
+TEST(HostTest, UnmatchedPacketsCounted) {
+  sim::Simulation sim{1};
+  Network net{sim};
+  Host host{sim, net, {IpAddr{1}}};
+  net.send(make_data_packet(IpAddr{10}, IpAddr{1}, 10));
+  sim.run();
+  EXPECT_EQ(host.unmatched_packets(), 1u);
+}
+
+TEST(HostTest, UnregisterStopsDelivery) {
+  sim::Simulation sim{1};
+  Network net{sim};
+  Host host{sim, net, {IpAddr{1}}};
+  int hits = 0;
+  const FlowKey key{SocketAddr{IpAddr{1}, 2000}, SocketAddr{IpAddr{10}, 1000}};
+  host.register_flow(key, [&](Packet) { ++hits; });
+  host.unregister_flow(key);
+  net.send(make_data_packet(IpAddr{10}, IpAddr{1}, 10));
+  sim.run();
+  EXPECT_EQ(hits, 0);
+  EXPECT_EQ(host.unmatched_packets(), 1u);
+}
+
+TEST(HostTest, EphemeralPortsAreUnique) {
+  sim::Simulation sim{1};
+  Network net{sim};
+  Host host{sim, net, {IpAddr{1}}};
+  const std::uint16_t a = host.ephemeral_port();
+  const std::uint16_t b = host.ephemeral_port();
+  EXPECT_NE(a, b);
+}
+
+TEST(HostTest, SendStampsUniquePacketIds) {
+  sim::Simulation sim{1};
+  Network net{sim};
+  Host host{sim, net, {IpAddr{1}}};
+  std::vector<std::uint64_t> uids;
+  net.attach_host(IpAddr{10}, [&](Packet p) { uids.push_back(p.uid); });
+  host.send(make_data_packet(IpAddr{1}, IpAddr{10}, 10));
+  host.send(make_data_packet(IpAddr{1}, IpAddr{10}, 10));
+  sim.run();
+  ASSERT_EQ(uids.size(), 2u);
+  EXPECT_NE(uids[0], uids[1]);
+  EXPECT_NE(uids[0], 0u);
+}
+
+}  // namespace
+}  // namespace mpr::net

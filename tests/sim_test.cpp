@@ -1,0 +1,223 @@
+// Unit tests for the simulation core: time arithmetic, the event queue's
+// ordering/cancellation semantics, and deterministic RNG streams.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/simulation.h"
+#include "sim/time.h"
+
+namespace mpr::sim {
+namespace {
+
+TEST(DurationTest, FactoryUnitsAgree) {
+  EXPECT_EQ(Duration::micros(1).ns(), 1000);
+  EXPECT_EQ(Duration::millis(1).ns(), 1'000'000);
+  EXPECT_EQ(Duration::seconds(1).ns(), 1'000'000'000);
+  EXPECT_EQ(Duration::from_seconds(0.5).ns(), 500'000'000);
+  EXPECT_EQ(Duration::from_millis(1.5).ns(), 1'500'000);
+}
+
+TEST(DurationTest, Arithmetic) {
+  const Duration a = Duration::millis(30);
+  const Duration b = Duration::millis(12);
+  EXPECT_EQ((a + b).to_millis(), 42.0);
+  EXPECT_EQ((a - b).to_millis(), 18.0);
+  EXPECT_EQ((a * 2.0).to_millis(), 60.0);
+  EXPECT_EQ((a / 3).to_millis(), 10.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  EXPECT_LT(b, a);
+}
+
+TEST(DurationTest, ConversionRoundTrip) {
+  const Duration d = Duration::from_seconds(1.2345);
+  EXPECT_NEAR(d.to_seconds(), 1.2345, 1e-9);
+  EXPECT_NEAR(d.to_millis(), 1234.5, 1e-6);
+}
+
+TEST(TimePointTest, Arithmetic) {
+  const TimePoint t0 = TimePoint::origin();
+  const TimePoint t1 = t0 + Duration::millis(5);
+  EXPECT_EQ((t1 - t0).to_millis(), 5.0);
+  EXPECT_GT(t1, t0);
+  EXPECT_EQ((t1 - Duration::millis(5)), t0);
+}
+
+TEST(TimeToString, HumanReadable) {
+  EXPECT_EQ(to_string(Duration::millis(12)), "12.000ms");
+  EXPECT_EQ(to_string(Duration::seconds(2)), "2.000s");
+  EXPECT_EQ(to_string(Duration::nanos(15)), "15ns");
+}
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(TimePoint::from_ns(300), [&] { order.push_back(3); });
+  q.schedule_at(TimePoint::from_ns(100), [&] { order.push_back(1); });
+  q.schedule_at(TimePoint::from_ns(200), [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), TimePoint::from_ns(300));
+}
+
+TEST(EventQueueTest, FifoAtSameInstant) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(TimePoint::from_ns(50), [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule_after(Duration::millis(1), [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // double-cancel is a no-op
+  q.run();
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CancelInvalidIdIsNoop) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(kInvalidEventId));
+  EXPECT_FALSE(q.cancel(12345));
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(TimePoint::from_ns(100), [&] { order.push_back(1); });
+  q.schedule_at(TimePoint::from_ns(200), [&] { order.push_back(2); });
+  q.schedule_at(TimePoint::from_ns(300), [&] { order.push_back(3); });
+  q.run_until(TimePoint::from_ns(200));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.now(), TimePoint::from_ns(200));
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesClockWhenIdle) {
+  EventQueue q;
+  q.run_until(TimePoint::from_ns(5000));
+  EXPECT_EQ(q.now(), TimePoint::from_ns(5000));
+}
+
+TEST(EventQueueTest, EventsScheduledFromEventsRun) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) q.schedule_after(Duration::millis(1), recurse);
+  };
+  q.schedule_after(Duration::millis(1), recurse);
+  q.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(q.now(), TimePoint::origin() + Duration::millis(10));
+}
+
+TEST(EventQueueTest, PastSchedulingClampsToNow) {
+  EventQueue q;
+  q.schedule_at(TimePoint::from_ns(1000), [&] {
+    // Scheduling "in the past" runs at the current instant, not before.
+    bool ran = false;
+    q.schedule_at(TimePoint::from_ns(10), [&] { ran = true; });
+    (void)ran;
+  });
+  q.run();
+  EXPECT_EQ(q.now(), TimePoint::from_ns(1000));
+}
+
+TEST(EventQueueTest, ExecutedCounter) {
+  EventQueue q;
+  for (int i = 0; i < 7; ++i) q.schedule_after(Duration::nanos(i), [] {});
+  q.run();
+  EXPECT_EQ(q.executed(), 7u);
+}
+
+TEST(RngTest, NamedStreamsAreDeterministic) {
+  const SeedSequence a{42};
+  const SeedSequence b{42};
+  Rng r1 = a.stream("wifi.loss");
+  Rng r2 = b.stream("wifi.loss");
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r1.uniform(), r2.uniform());
+}
+
+TEST(RngTest, DifferentNamesDecorrelate) {
+  const SeedSequence s{42};
+  EXPECT_NE(s.seed_for("a"), s.seed_for("b"));
+  EXPECT_NE(s.seed_for("a"), s.seed_for("a "));
+}
+
+TEST(RngTest, DifferentMasterSeedsDiffer) {
+  EXPECT_NE(SeedSequence{1}.seed_for("x"), SeedSequence{2}.seed_for("x"));
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng r{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng r{7};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceFrequency) {
+  Rng r{7};
+  int hits = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) hits += r.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.02);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng r{11};
+  double sum = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / kTrials, 5.0, 0.25);
+}
+
+TEST(RngTest, LognormalMedian) {
+  Rng r{13};
+  std::vector<double> v;
+  for (int i = 0; i < 20001; ++i) v.push_back(r.lognormal_median(3.0, 0.8));
+  std::sort(v.begin(), v.end());
+  EXPECT_NEAR(v[v.size() / 2], 3.0, 0.15);
+}
+
+TEST(RngTest, ParetoBounds) {
+  Rng r{17};
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(r.pareto(1.5, 2.0), 2.0);
+}
+
+TEST(SimulationTest, SchedulingHelpers) {
+  Simulation sim{1};
+  int count = 0;
+  sim.after(Duration::millis(1), [&] { ++count; });
+  const EventId id = sim.after(Duration::millis(2), [&] { ++count; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(SimulationTest, RunForAdvancesRelative) {
+  Simulation sim{1};
+  sim.run_for(Duration::millis(10));
+  sim.run_for(Duration::millis(10));
+  EXPECT_EQ(sim.now().to_millis(), 20.0);
+}
+
+}  // namespace
+}  // namespace mpr::sim

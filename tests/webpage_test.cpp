@@ -1,0 +1,142 @@
+// Web-page workload tests: sampling, sequential page loads over MPTCP, and
+// a randomized-permutation fuzz of the reorder buffer (delivery must be
+// exact and in order no matter the arrival permutation).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "app/webpage.h"
+#include "core/reorder_buffer.h"
+#include "experiment/testbed.h"
+
+namespace mpr::app {
+namespace {
+
+using experiment::kClientCellAddr;
+using experiment::kClientWifiAddr;
+using experiment::kHttpPort;
+using experiment::kServerAddr1;
+
+TEST(WebPage, SampleHasSaneShape) {
+  sim::Rng rng{1};
+  const WebPage page = WebPage::sample(rng, 20);
+  EXPECT_EQ(page.object_bytes.size(), 20u);
+  EXPECT_GE(page.document_bytes, 30u * 1024);
+  EXPECT_LE(page.document_bytes, 90u * 1024);
+  for (const std::uint64_t b : page.object_bytes) {
+    EXPECT_GE(b, 6u * 1024);
+    EXPECT_LE(b, 4u * 1024 * 1024);
+  }
+  EXPECT_EQ(page.request_count(), 21u);
+  EXPECT_EQ(page.object_size(0), page.document_bytes);
+  EXPECT_EQ(page.object_size(1), page.object_bytes[0]);
+}
+
+TEST(WebPage, TotalBytesSumsEverything) {
+  WebPage page;
+  page.document_bytes = 1000;
+  page.object_bytes = {10, 20, 30};
+  EXPECT_EQ(page.total_bytes(), 1060u);
+}
+
+TEST(WebPage, SamplingIsHeavyTailedAcrossManyPages) {
+  sim::Rng rng{7};
+  std::vector<double> sizes;
+  for (int i = 0; i < 200; ++i) {
+    const WebPage p = WebPage::sample(rng);
+    for (const std::uint64_t b : p.object_bytes) sizes.push_back(static_cast<double>(b));
+  }
+  std::sort(sizes.begin(), sizes.end());
+  const double median = sizes[sizes.size() / 2];
+  const double p99 = sizes[sizes.size() * 99 / 100];
+  EXPECT_LT(median, 40.0 * 1024);
+  EXPECT_GT(p99, 10.0 * median);  // tail an order of magnitude above the median
+}
+
+TEST(PageLoad, SequentialLoadCompletesOverMptcp) {
+  experiment::TestbedConfig cfg;
+  cfg.seed = 4;
+  experiment::Testbed tb{cfg};
+  WebPage page;
+  page.document_bytes = 50 << 10;
+  page.object_bytes = {30ull << 10, 200ull << 10, 1ull << 20};
+
+  core::MptcpConfig mcfg;
+  MptcpHttpServer server{tb.server(), kHttpPort, mcfg, {},
+                         [page](std::uint64_t i) { return page.object_size(i); }};
+  MptcpHttpClient client{tb.client(), mcfg, {kClientWifiAddr, kClientCellAddr},
+                         net::SocketAddr{kServerAddr1, kHttpPort}};
+  PageLoadSession session{client, page};
+  session.start();
+  tb.sim().run_for(sim::Duration::seconds(60));
+  ASSERT_TRUE(session.finished());
+  const PageLoadResult& r = session.result();
+  EXPECT_TRUE(r.completed);
+  ASSERT_EQ(r.object_times.size(), 4u);
+  // Load time covers every object (it is at least the sum of fetch times
+  // minus overlaps; with sequential fetches it is close to the sum).
+  sim::Duration sum;
+  for (const sim::Duration d : r.object_times) sum += d;
+  EXPECT_GE(r.load_time, sum - sim::Duration::millis(1));
+  EXPECT_EQ(client.connection().rx().delivered_bytes(), page.total_bytes());
+}
+
+}  // namespace
+}  // namespace mpr::app
+
+namespace mpr::core {
+namespace {
+
+/// Fuzz: deliver a segmented stream in seeded random permutations; the
+/// buffer must deliver every byte exactly once, in order, with correct
+/// delay accounting, regardless of arrival order.
+class ReorderBufferFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReorderBufferFuzz, PermutedArrivalsDeliverExactlyInOrder) {
+  sim::Rng rng{GetParam()};
+  constexpr std::uint32_t kSeg = 1400;
+  const int segments = 200 + static_cast<int>(rng.uniform_int(0, 300));
+
+  std::vector<std::uint64_t> order(static_cast<std::size_t>(segments));
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng.engine());
+
+  ReorderBuffer rb{64 << 20};
+  std::uint64_t next = 0;
+  bool in_order = true;
+  rb.on_deliver = [&](std::uint64_t dsn, std::uint32_t len) {
+    if (dsn != next) in_order = false;
+    next = dsn + len;
+  };
+
+  sim::TimePoint now;
+  for (const std::uint64_t idx : order) {
+    now = now + sim::Duration::micros(rng.uniform_int(1, 500));
+    ASSERT_TRUE(rb.insert(idx * kSeg, kSeg, now, static_cast<std::uint8_t>(idx % 3)));
+    // Occasional duplicate deliveries (reinjection) must be absorbed.
+    if (rng.chance(0.05)) {
+      ASSERT_TRUE(rb.insert(idx * kSeg, kSeg, now, 0));
+    }
+  }
+
+  EXPECT_TRUE(in_order);
+  EXPECT_EQ(rb.delivered_bytes(), static_cast<std::uint64_t>(segments) * kSeg);
+  EXPECT_EQ(rb.rcv_nxt(), static_cast<std::uint64_t>(segments) * kSeg);
+  EXPECT_EQ(rb.buffered_bytes(), 0u);
+  EXPECT_EQ(rb.ofo_samples().size(), static_cast<std::size_t>(segments));
+  // Delay sanity: every sample within the total elapsed time.
+  for (const OfoSample& s : rb.ofo_samples()) {
+    EXPECT_GE(s.delay, sim::Duration::zero());
+    EXPECT_LE(s.delay, now - sim::TimePoint::origin());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReorderBufferFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace mpr::core

@@ -1,0 +1,39 @@
+#include <cstdio>
+#include "experiment/carriers.h"
+#include "experiment/run.h"
+#include "experiment/series.h"
+#include "analysis/stats.h"
+using namespace mpr;
+using namespace mpr::experiment;
+
+int main() {
+  const std::uint64_t sizes[] = {64ull<<10, 512ull<<10, 2ull<<20, 16ull<<20};
+  // Single path characterization per carrier + wifi
+  for (int mode = 0; mode < 2; ++mode) {
+    for (const char* which : {"wifi", "att", "vzw", "sprint"}) {
+      if (mode == 1 && std::string(which) == "wifi") continue;
+      for (auto size : sizes) {
+        TestbedConfig tb; tb.seed = 100;
+        RunConfig rc; rc.file_bytes = size;
+        std::string label = which;
+        if (label == "wifi") { rc.mode = PathMode::kSingleWifi; }
+        else {
+          rc.mode = mode == 0 ? PathMode::kSingleCellular : PathMode::kMptcp2;
+          tb.cellular = carrier_profile(label=="att"?Carrier::kAtt:label=="vzw"?Carrier::kVerizon:Carrier::kSprint);
+        }
+        auto rs = run_series(tb, rc, 8, 42);
+        auto dt = download_time_summary(rs);
+        bool cell = rc.mode != PathMode::kSingleWifi;
+        auto loss = analysis::summarize(loss_rates_percent(rs, cell));
+        auto rtt = analysis::summarize(per_run_mean_rtt_ms(rs, cell));
+        auto wloss = analysis::summarize(loss_rates_percent(rs, false));
+        auto wrtt = analysis::summarize(per_run_mean_rtt_ms(rs, false));
+        std::printf("%-6s %-8s %6lluKB  dt=%7.3fs med=%7.3f  loss%%=%5.2f rtt=%7.1fms  [wifi loss%%=%5.2f rtt=%6.1fms] cellfrac=%.2f n=%zu\n",
+          mode==0?"SP":"MP2", which, (unsigned long long)(size>>10),
+          dt.mean, dt.median, loss.mean, rtt.mean, wloss.mean, wrtt.mean,
+          mean_cellular_fraction(rs), dt.n);
+      }
+    }
+  }
+  return 0;
+}

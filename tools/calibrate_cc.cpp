@@ -1,0 +1,22 @@
+#include <cstdio>
+#include "experiment/carriers.h"
+#include "experiment/run.h"
+#include "experiment/series.h"
+using namespace mpr;
+using namespace mpr::experiment;
+int main() {
+  for (auto carrier : {Carrier::kAtt, Carrier::kVerizon, Carrier::kSprint}) {
+    for (auto size : {8ull<<20, 16ull<<20}) {
+      std::printf("%-8s %3lluMB: ", to_string(carrier).c_str(), (unsigned long long)(size>>20));
+      for (auto cc : {core::CcKind::kCoupled, core::CcKind::kOlia, core::CcKind::kReno}) {
+        TestbedConfig tb; tb.cellular = carrier_profile(carrier);
+        RunConfig rc; rc.mode = PathMode::kMptcp2; rc.cc = cc; rc.file_bytes = size;
+        auto rs = run_series(tb, rc, 16, 555);
+        auto dt = download_time_summary(rs);
+        std::printf("%s=%6.2f/%6.2f  ", core::to_string(cc).c_str(), dt.mean, dt.median);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

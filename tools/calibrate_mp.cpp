@@ -1,0 +1,36 @@
+#include <cstdio>
+#include "experiment/carriers.h"
+#include "experiment/run.h"
+#include "experiment/series.h"
+using namespace mpr;
+using namespace mpr::experiment;
+
+int main() {
+  // Controller + path-count comparison on AT&T (paper Fig 4/9)
+  const std::uint64_t sizes[] = {512ull<<10, 4ull<<20, 16ull<<20};
+  for (auto size : sizes) {
+    for (auto mode : {PathMode::kMptcp2, PathMode::kMptcp4}) {
+      for (auto cc : {core::CcKind::kCoupled, core::CcKind::kOlia, core::CcKind::kReno}) {
+        TestbedConfig tb; RunConfig rc;
+        rc.mode = mode; rc.cc = cc; rc.file_bytes = size;
+        auto rs = run_series(tb, rc, 10, 777);
+        auto dt = download_time_summary(rs);
+        std::printf("%4lluKB %-5s %-8s dt=%7.3f med=%7.3f cellfrac=%.2f\n",
+          (unsigned long long)(size>>10), to_string(mode).c_str(), core::to_string(cc).c_str(),
+          dt.mean, dt.median, mean_cellular_fraction(rs));
+      }
+    }
+  }
+  // Simultaneous SYN (Fig 8)
+  for (auto size : {64ull<<10, 512ull<<10, 2048ull<<10}) {
+    for (bool simsyn : {false, true}) {
+      TestbedConfig tb; RunConfig rc;
+      rc.mode = PathMode::kMptcp2; rc.file_bytes = size; rc.simultaneous_syns = simsyn;
+      auto rs = run_series(tb, rc, 12, 888);
+      auto dt = download_time_summary(rs);
+      std::printf("simsyn=%d %5lluKB dt=%7.3f med=%7.3f\n", simsyn?1:0,
+        (unsigned long long)(size>>10), dt.mean, dt.median);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,125 @@
+// mpr_run — run one measurement on the simulated testbed from the command
+// line and print a report (text or JSON).
+//
+//   mpr_run --mode mp2 --carrier att --cc olia --size 4m --seed 7
+//   mpr_run --mode sp-wifi --size 512k --json
+//
+// Flags:
+//   --mode     sp-wifi | sp-cell | mp2 | mp4        (default mp2)
+//   --carrier  att | verizon | sprint               (default att)
+//   --cc       coupled | olia | reno                (default coupled)
+//   --sched    minrtt | rr                          (default minrtt)
+//   --size     object bytes, k/m/g suffixes         (default 4m)
+//   --seed     RNG seed                             (default 1)
+//   --hotspot  use the public coffee-shop WiFi profile
+//   --simsyn   simultaneous SYNs
+//   --backup   join cellular in backup mode
+//   --codel    CoDel on the cellular downlink
+//   --reps     repetitions (default 1)
+//   --json     machine-readable output
+#include <cstdio>
+#include <string>
+
+#include "cli_flags.h"
+#include "experiment/carriers.h"
+#include "experiment/run.h"
+#include "experiment/series.h"
+
+using namespace mpr;
+using namespace mpr::experiment;
+
+namespace {
+
+PathMode parse_mode(const std::string& s) {
+  if (s == "sp-wifi") return PathMode::kSingleWifi;
+  if (s == "sp-cell") return PathMode::kSingleCellular;
+  if (s == "mp4") return PathMode::kMptcp4;
+  return PathMode::kMptcp2;
+}
+
+Carrier parse_carrier(const std::string& s) {
+  if (s == "verizon" || s == "vzw") return Carrier::kVerizon;
+  if (s == "sprint") return Carrier::kSprint;
+  return Carrier::kAtt;
+}
+
+core::CcKind parse_cc(const std::string& s) {
+  if (s == "olia") return core::CcKind::kOlia;
+  if (s == "reno") return core::CcKind::kReno;
+  return core::CcKind::kCoupled;
+}
+
+void print_json(const RunResult& r) {
+  std::printf(
+      "{\"completed\":%s,\"download_time_s\":%.6f,\"cellular_fraction\":%.4f,"
+      "\"wifi\":{\"bytes\":%llu,\"loss\":%.5f,\"rtt_samples\":%zu},"
+      "\"cellular\":{\"bytes\":%llu,\"loss\":%.5f,\"rtt_samples\":%zu},"
+      "\"energy_j\":{\"wifi\":%.3f,\"cellular\":%.3f},"
+      "\"reinjections\":%llu,\"penalizations\":%llu}\n",
+      r.completed ? "true" : "false", r.download_time_s, r.cellular_fraction(),
+      static_cast<unsigned long long>(r.wifi.bytes_received), r.wifi.loss_rate(),
+      r.wifi.rtt_ms.size(), static_cast<unsigned long long>(r.cellular.bytes_received),
+      r.cellular.loss_rate(), r.cellular.rtt_ms.size(), r.wifi_energy_j, r.cellular_energy_j,
+      static_cast<unsigned long long>(r.reinjections),
+      static_cast<unsigned long long>(r.penalizations));
+}
+
+void print_text(const RunResult& r) {
+  std::printf("completed:        %s\n", r.completed ? "yes" : "NO (timeout)");
+  std::printf("download time:    %.3f s\n", r.download_time_s);
+  std::printf("cellular share:   %.1f%%\n", r.cellular_fraction() * 100);
+  std::printf("wifi:             %llu bytes, loss %.2f%%\n",
+              static_cast<unsigned long long>(r.wifi.bytes_received),
+              r.wifi.loss_rate() * 100);
+  std::printf("cellular:         %llu bytes, loss %.2f%%\n",
+              static_cast<unsigned long long>(r.cellular.bytes_received),
+              r.cellular.loss_rate() * 100);
+  std::printf("radio energy:     wifi %.1f J, cellular %.1f J\n", r.wifi_energy_j,
+              r.cellular_energy_j);
+  if (!r.ofo_ms.empty()) {
+    const auto s = analysis::summarize(r.ofo_ms);
+    std::printf("reorder delay:    mean %.1f ms, max %.1f ms over %zu packets\n", s.mean,
+                s.max, s.n);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tools::Flags flags{argc, argv};
+  if (flags.has("help")) {
+    std::printf("see the header of tools/mpr_run.cpp for flags\n");
+    return 0;
+  }
+
+  TestbedConfig tb;
+  tb.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  tb.wifi = flags.get_bool("hotspot") ? netem::wifi_hotspot() : netem::wifi_home();
+  tb.cellular = carrier_profile(parse_carrier(flags.get("carrier", "att")));
+  tb.cellular.codel_downlink = flags.get_bool("codel");
+
+  RunConfig rc;
+  rc.mode = parse_mode(flags.get("mode", "mp2"));
+  rc.cc = parse_cc(flags.get("cc", "coupled"));
+  rc.scheduler = flags.get("sched", "minrtt") == "rr" ? core::SchedulerKind::kRoundRobin
+                                                      : core::SchedulerKind::kMinRtt;
+  rc.file_bytes = flags.get_size("size", 4 << 20);
+  rc.simultaneous_syns = flags.get_bool("simsyn");
+  rc.cellular_backup = flags.get_bool("backup");
+
+  const int reps = static_cast<int>(flags.get_int("reps", 1));
+  const bool json = flags.get_bool("json");
+  for (int i = 0; i < reps; ++i) {
+    TestbedConfig tbi = tb;
+    tbi.seed = tb.seed + static_cast<std::uint64_t>(i);
+    const RunResult r = run_download(tbi, rc);
+    if (json) {
+      print_json(r);
+    } else {
+      if (reps > 1) std::printf("--- rep %d (seed %llu) ---\n", i,
+                                static_cast<unsigned long long>(tbi.seed));
+      print_text(r);
+    }
+  }
+  return 0;
+}

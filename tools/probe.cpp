@@ -1,0 +1,34 @@
+#include <cstdio>
+#include "experiment/testbed.h"
+#include "experiment/carriers.h"
+#include "app/http.h"
+using namespace mpr;
+using namespace mpr::experiment;
+
+int main() {
+  TestbedConfig tbc; tbc.seed = 5; tbc.cellular = netem::verizon_lte();
+  Testbed tb{tbc};
+  tcp::TcpConfig tcfg;
+  app::TcpHttpServer server(tb.server(), kHttpPort, tcfg, [](std::uint64_t){ return 16ull<<20; });
+  app::TcpHttpClient client(tb.client(), tcfg, kClientCellAddr, {kServerAddr1, kHttpPort});
+  bool done=false;
+  client.get(16ull<<20, [&](const app::FetchResult& r){ done=true;
+    std::printf("done at %.2fs\n", r.download_time().to_seconds()); });
+  // periodic probe
+  std::function<void()> probe = [&]{
+    if (done) return;
+    tcp::TcpEndpoint* sep = server.connections().empty()?nullptr:server.connections()[0];
+    std::printf("t=%6.2f queue=%7llu rto_to=%llu cwnd=%7.0f ssthresh=%llu srtt=%6.1fms flight=%llu\n",
+      tb.sim().now().to_seconds(),
+      (unsigned long long)tb.cell_access().downlink().queued_bytes(),
+      sep?(unsigned long long)sep->metrics().timeouts:0,
+      sep?sep->cwnd_bytes():0.0,
+      sep?(unsigned long long)sep->ssthresh_bytes():0,
+      sep?sep->srtt().to_millis():0.0,
+      sep?(unsigned long long)sep->bytes_in_flight():0);
+    tb.sim().after(sim::Duration::millis(500), probe);
+  };
+  tb.sim().after(sim::Duration::millis(100), probe);
+  while(!done && tb.sim().events().step()) {}
+  return 0;
+}
