@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_metric_cache"
+  "../bench/ablation_metric_cache.pdb"
+  "CMakeFiles/ablation_metric_cache.dir/ablation_metric_cache.cpp.o"
+  "CMakeFiles/ablation_metric_cache.dir/ablation_metric_cache.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_metric_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

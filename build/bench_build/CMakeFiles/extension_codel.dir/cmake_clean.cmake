@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_codel"
+  "../bench/extension_codel.pdb"
+  "CMakeFiles/extension_codel.dir/extension_codel.cpp.o"
+  "CMakeFiles/extension_codel.dir/extension_codel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_codel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

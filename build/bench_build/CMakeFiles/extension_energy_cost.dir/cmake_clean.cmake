@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_energy_cost"
+  "../bench/extension_energy_cost.pdb"
+  "CMakeFiles/extension_energy_cost.dir/extension_energy_cost.cpp.o"
+  "CMakeFiles/extension_energy_cost.dir/extension_energy_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_energy_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_fairness"
+  "../bench/extension_fairness.pdb"
+  "CMakeFiles/extension_fairness.dir/extension_fairness.cpp.o"
+  "CMakeFiles/extension_fairness.dir/extension_fairness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_handover_reuse"
+  "../bench/extension_handover_reuse.pdb"
+  "CMakeFiles/extension_handover_reuse.dir/extension_handover_reuse.cpp.o"
+  "CMakeFiles/extension_handover_reuse.dir/extension_handover_reuse.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_handover_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_baseline_download"
+  "../bench/fig02_baseline_download.pdb"
+  "CMakeFiles/fig02_baseline_download.dir/fig02_baseline_download.cpp.o"
+  "CMakeFiles/fig02_baseline_download.dir/fig02_baseline_download.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_baseline_download.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_small_flow_download"
+  "../bench/fig04_small_flow_download.pdb"
+  "CMakeFiles/fig04_small_flow_download.dir/fig04_small_flow_download.cpp.o"
+  "CMakeFiles/fig04_small_flow_download.dir/fig04_small_flow_download.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_small_flow_download.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04_small_flow_download.
+# This may be replaced when dependencies are built.

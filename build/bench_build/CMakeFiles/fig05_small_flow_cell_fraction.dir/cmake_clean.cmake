@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_small_flow_cell_fraction"
+  "../bench/fig05_small_flow_cell_fraction.pdb"
+  "CMakeFiles/fig05_small_flow_cell_fraction.dir/fig05_small_flow_cell_fraction.cpp.o"
+  "CMakeFiles/fig05_small_flow_cell_fraction.dir/fig05_small_flow_cell_fraction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_small_flow_cell_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

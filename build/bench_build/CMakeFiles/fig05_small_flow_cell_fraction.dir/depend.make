@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_small_flow_cell_fraction.
+# This may be replaced when dependencies are built.

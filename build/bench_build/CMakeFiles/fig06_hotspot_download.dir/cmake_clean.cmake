@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_hotspot_download"
+  "../bench/fig06_hotspot_download.pdb"
+  "CMakeFiles/fig06_hotspot_download.dir/fig06_hotspot_download.cpp.o"
+  "CMakeFiles/fig06_hotspot_download.dir/fig06_hotspot_download.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_hotspot_download.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

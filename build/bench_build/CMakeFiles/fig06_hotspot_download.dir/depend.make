@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_hotspot_download.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_hotspot_cell_fraction"
+  "../bench/fig07_hotspot_cell_fraction.pdb"
+  "CMakeFiles/fig07_hotspot_cell_fraction.dir/fig07_hotspot_cell_fraction.cpp.o"
+  "CMakeFiles/fig07_hotspot_cell_fraction.dir/fig07_hotspot_cell_fraction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_hotspot_cell_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_hotspot_cell_fraction.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_simultaneous_syn"
+  "../bench/fig08_simultaneous_syn.pdb"
+  "CMakeFiles/fig08_simultaneous_syn.dir/fig08_simultaneous_syn.cpp.o"
+  "CMakeFiles/fig08_simultaneous_syn.dir/fig08_simultaneous_syn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_simultaneous_syn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_large_flow_download"
+  "../bench/fig09_large_flow_download.pdb"
+  "CMakeFiles/fig09_large_flow_download.dir/fig09_large_flow_download.cpp.o"
+  "CMakeFiles/fig09_large_flow_download.dir/fig09_large_flow_download.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_large_flow_download.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_large_flow_download.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_large_flow_cell_fraction.
+# This may be replaced when dependencies are built.

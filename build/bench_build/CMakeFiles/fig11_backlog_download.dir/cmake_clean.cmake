@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_backlog_download"
+  "../bench/fig11_backlog_download.pdb"
+  "CMakeFiles/fig11_backlog_download.dir/fig11_backlog_download.cpp.o"
+  "CMakeFiles/fig11_backlog_download.dir/fig11_backlog_download.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_backlog_download.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

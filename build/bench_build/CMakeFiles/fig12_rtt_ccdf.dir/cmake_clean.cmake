@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_rtt_ccdf"
+  "../bench/fig12_rtt_ccdf.pdb"
+  "CMakeFiles/fig12_rtt_ccdf.dir/fig12_rtt_ccdf.cpp.o"
+  "CMakeFiles/fig12_rtt_ccdf.dir/fig12_rtt_ccdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_rtt_ccdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_ofo_ccdf"
+  "../bench/fig13_ofo_ccdf.pdb"
+  "CMakeFiles/fig13_ofo_ccdf.dir/fig13_ofo_ccdf.cpp.o"
+  "CMakeFiles/fig13_ofo_ccdf.dir/fig13_ofo_ccdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_ofo_ccdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_ofo_ccdf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_core"
+  "../bench/micro_core.pdb"
+  "CMakeFiles/micro_core.dir/micro_core.cpp.o"
+  "CMakeFiles/micro_core.dir/micro_core.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab02_baseline_path_chars"
+  "../bench/tab02_baseline_path_chars.pdb"
+  "CMakeFiles/tab02_baseline_path_chars.dir/tab02_baseline_path_chars.cpp.o"
+  "CMakeFiles/tab02_baseline_path_chars.dir/tab02_baseline_path_chars.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_baseline_path_chars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

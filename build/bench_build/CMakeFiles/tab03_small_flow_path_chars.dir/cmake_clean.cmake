@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab03_small_flow_path_chars"
+  "../bench/tab03_small_flow_path_chars.pdb"
+  "CMakeFiles/tab03_small_flow_path_chars.dir/tab03_small_flow_path_chars.cpp.o"
+  "CMakeFiles/tab03_small_flow_path_chars.dir/tab03_small_flow_path_chars.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_small_flow_path_chars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab04_hotspot_path_chars"
+  "../bench/tab04_hotspot_path_chars.pdb"
+  "CMakeFiles/tab04_hotspot_path_chars.dir/tab04_hotspot_path_chars.cpp.o"
+  "CMakeFiles/tab04_hotspot_path_chars.dir/tab04_hotspot_path_chars.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_hotspot_path_chars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab05_large_flow_path_chars"
+  "../bench/tab05_large_flow_path_chars.pdb"
+  "CMakeFiles/tab05_large_flow_path_chars.dir/tab05_large_flow_path_chars.cpp.o"
+  "CMakeFiles/tab05_large_flow_path_chars.dir/tab05_large_flow_path_chars.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_large_flow_path_chars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

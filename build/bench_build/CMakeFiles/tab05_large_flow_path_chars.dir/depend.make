@@ -1,0 +1,2 @@
+# Empty dependencies file for tab05_large_flow_path_chars.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab06_mptcp_rtt_ofo"
+  "../bench/tab06_mptcp_rtt_ofo.pdb"
+  "CMakeFiles/tab06_mptcp_rtt_ofo.dir/tab06_mptcp_rtt_ofo.cpp.o"
+  "CMakeFiles/tab06_mptcp_rtt_ofo.dir/tab06_mptcp_rtt_ofo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab06_mptcp_rtt_ofo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab06_mptcp_rtt_ofo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab07_streaming"
+  "../bench/tab07_streaming.pdb"
+  "CMakeFiles/tab07_streaming.dir/tab07_streaming.cpp.o"
+  "CMakeFiles/tab07_streaming.dir/tab07_streaming.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab07_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

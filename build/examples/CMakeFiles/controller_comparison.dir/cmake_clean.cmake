@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_comparison.dir/controller_comparison.cpp.o"
+  "CMakeFiles/controller_comparison.dir/controller_comparison.cpp.o.d"
+  "controller_comparison"
+  "controller_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

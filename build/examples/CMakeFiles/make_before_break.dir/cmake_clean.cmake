@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/make_before_break.dir/make_before_break.cpp.o"
+  "CMakeFiles/make_before_break.dir/make_before_break.cpp.o.d"
+  "make_before_break"
+  "make_before_break.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/make_before_break.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

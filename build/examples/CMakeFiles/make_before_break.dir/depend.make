@@ -1,0 +1,2 @@
+# Empty dependencies file for make_before_break.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_streaming.dir/video_streaming.cpp.o"
+  "CMakeFiles/video_streaming.dir/video_streaming.cpp.o.d"
+  "video_streaming"
+  "video_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_browsing.dir/web_browsing.cpp.o"
+  "CMakeFiles/web_browsing.dir/web_browsing.cpp.o.d"
+  "web_browsing"
+  "web_browsing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_browsing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wifi_walkout.dir/wifi_walkout.cpp.o"
+  "CMakeFiles/wifi_walkout.dir/wifi_walkout.cpp.o.d"
+  "wifi_walkout"
+  "wifi_walkout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wifi_walkout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wifi_walkout.
+# This may be replaced when dependencies are built.

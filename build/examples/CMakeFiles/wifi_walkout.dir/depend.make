@@ -1,0 +1,2 @@
+# Empty dependencies file for wifi_walkout.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/pcap.cpp" "src/analysis/CMakeFiles/mpr_analysis.dir/pcap.cpp.o" "gcc" "src/analysis/CMakeFiles/mpr_analysis.dir/pcap.cpp.o.d"
+  "/root/repo/src/analysis/stats.cpp" "src/analysis/CMakeFiles/mpr_analysis.dir/stats.cpp.o" "gcc" "src/analysis/CMakeFiles/mpr_analysis.dir/stats.cpp.o.d"
+  "/root/repo/src/analysis/trace.cpp" "src/analysis/CMakeFiles/mpr_analysis.dir/trace.cpp.o" "gcc" "src/analysis/CMakeFiles/mpr_analysis.dir/trace.cpp.o.d"
+  "/root/repo/src/analysis/trace_analyzer.cpp" "src/analysis/CMakeFiles/mpr_analysis.dir/trace_analyzer.cpp.o" "gcc" "src/analysis/CMakeFiles/mpr_analysis.dir/trace_analyzer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mpr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpr_analysis.dir/pcap.cpp.o"
+  "CMakeFiles/mpr_analysis.dir/pcap.cpp.o.d"
+  "CMakeFiles/mpr_analysis.dir/stats.cpp.o"
+  "CMakeFiles/mpr_analysis.dir/stats.cpp.o.d"
+  "CMakeFiles/mpr_analysis.dir/trace.cpp.o"
+  "CMakeFiles/mpr_analysis.dir/trace.cpp.o.d"
+  "CMakeFiles/mpr_analysis.dir/trace_analyzer.cpp.o"
+  "CMakeFiles/mpr_analysis.dir/trace_analyzer.cpp.o.d"
+  "libmpr_analysis.a"
+  "libmpr_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpr_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

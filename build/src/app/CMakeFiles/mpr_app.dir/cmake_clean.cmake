@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpr_app.dir/http.cpp.o"
+  "CMakeFiles/mpr_app.dir/http.cpp.o.d"
+  "CMakeFiles/mpr_app.dir/ping.cpp.o"
+  "CMakeFiles/mpr_app.dir/ping.cpp.o.d"
+  "CMakeFiles/mpr_app.dir/streaming.cpp.o"
+  "CMakeFiles/mpr_app.dir/streaming.cpp.o.d"
+  "libmpr_app.a"
+  "libmpr_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpr_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

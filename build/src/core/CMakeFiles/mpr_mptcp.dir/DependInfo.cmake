@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/connection.cpp" "src/core/CMakeFiles/mpr_mptcp.dir/connection.cpp.o" "gcc" "src/core/CMakeFiles/mpr_mptcp.dir/connection.cpp.o.d"
+  "/root/repo/src/core/coupled_cc.cpp" "src/core/CMakeFiles/mpr_mptcp.dir/coupled_cc.cpp.o" "gcc" "src/core/CMakeFiles/mpr_mptcp.dir/coupled_cc.cpp.o.d"
+  "/root/repo/src/core/reorder_buffer.cpp" "src/core/CMakeFiles/mpr_mptcp.dir/reorder_buffer.cpp.o" "gcc" "src/core/CMakeFiles/mpr_mptcp.dir/reorder_buffer.cpp.o.d"
+  "/root/repo/src/core/server.cpp" "src/core/CMakeFiles/mpr_mptcp.dir/server.cpp.o" "gcc" "src/core/CMakeFiles/mpr_mptcp.dir/server.cpp.o.d"
+  "/root/repo/src/core/subflow.cpp" "src/core/CMakeFiles/mpr_mptcp.dir/subflow.cpp.o" "gcc" "src/core/CMakeFiles/mpr_mptcp.dir/subflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tcp/CMakeFiles/mpr_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mpr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpr_mptcp.dir/connection.cpp.o"
+  "CMakeFiles/mpr_mptcp.dir/connection.cpp.o.d"
+  "CMakeFiles/mpr_mptcp.dir/coupled_cc.cpp.o"
+  "CMakeFiles/mpr_mptcp.dir/coupled_cc.cpp.o.d"
+  "CMakeFiles/mpr_mptcp.dir/reorder_buffer.cpp.o"
+  "CMakeFiles/mpr_mptcp.dir/reorder_buffer.cpp.o.d"
+  "CMakeFiles/mpr_mptcp.dir/server.cpp.o"
+  "CMakeFiles/mpr_mptcp.dir/server.cpp.o.d"
+  "CMakeFiles/mpr_mptcp.dir/subflow.cpp.o"
+  "CMakeFiles/mpr_mptcp.dir/subflow.cpp.o.d"
+  "libmpr_mptcp.a"
+  "libmpr_mptcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpr_mptcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

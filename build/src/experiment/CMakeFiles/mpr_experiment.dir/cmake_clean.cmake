@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpr_experiment.dir/run.cpp.o"
+  "CMakeFiles/mpr_experiment.dir/run.cpp.o.d"
+  "CMakeFiles/mpr_experiment.dir/series.cpp.o"
+  "CMakeFiles/mpr_experiment.dir/series.cpp.o.d"
+  "CMakeFiles/mpr_experiment.dir/table.cpp.o"
+  "CMakeFiles/mpr_experiment.dir/table.cpp.o.d"
+  "CMakeFiles/mpr_experiment.dir/testbed.cpp.o"
+  "CMakeFiles/mpr_experiment.dir/testbed.cpp.o.d"
+  "libmpr_experiment.a"
+  "libmpr_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpr_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/host.cpp" "src/net/CMakeFiles/mpr_net.dir/host.cpp.o" "gcc" "src/net/CMakeFiles/mpr_net.dir/host.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/mpr_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/mpr_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/mpr_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/mpr_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/mpr_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/mpr_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/queue.cpp" "src/net/CMakeFiles/mpr_net.dir/queue.cpp.o" "gcc" "src/net/CMakeFiles/mpr_net.dir/queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mpr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

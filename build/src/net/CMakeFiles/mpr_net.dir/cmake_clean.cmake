@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpr_net.dir/host.cpp.o"
+  "CMakeFiles/mpr_net.dir/host.cpp.o.d"
+  "CMakeFiles/mpr_net.dir/link.cpp.o"
+  "CMakeFiles/mpr_net.dir/link.cpp.o.d"
+  "CMakeFiles/mpr_net.dir/network.cpp.o"
+  "CMakeFiles/mpr_net.dir/network.cpp.o.d"
+  "CMakeFiles/mpr_net.dir/packet.cpp.o"
+  "CMakeFiles/mpr_net.dir/packet.cpp.o.d"
+  "CMakeFiles/mpr_net.dir/queue.cpp.o"
+  "CMakeFiles/mpr_net.dir/queue.cpp.o.d"
+  "libmpr_net.a"
+  "libmpr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netem/access.cpp" "src/netem/CMakeFiles/mpr_netem.dir/access.cpp.o" "gcc" "src/netem/CMakeFiles/mpr_netem.dir/access.cpp.o.d"
+  "/root/repo/src/netem/background.cpp" "src/netem/CMakeFiles/mpr_netem.dir/background.cpp.o" "gcc" "src/netem/CMakeFiles/mpr_netem.dir/background.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mpr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

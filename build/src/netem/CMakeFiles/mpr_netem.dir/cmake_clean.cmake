@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpr_netem.dir/access.cpp.o"
+  "CMakeFiles/mpr_netem.dir/access.cpp.o.d"
+  "CMakeFiles/mpr_netem.dir/background.cpp.o"
+  "CMakeFiles/mpr_netem.dir/background.cpp.o.d"
+  "libmpr_netem.a"
+  "libmpr_netem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpr_netem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

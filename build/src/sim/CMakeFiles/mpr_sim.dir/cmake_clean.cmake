@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpr_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/mpr_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/mpr_sim.dir/rng.cpp.o"
+  "CMakeFiles/mpr_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/mpr_sim.dir/time.cpp.o"
+  "CMakeFiles/mpr_sim.dir/time.cpp.o.d"
+  "libmpr_sim.a"
+  "libmpr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/congestion.cpp" "src/tcp/CMakeFiles/mpr_tcp.dir/congestion.cpp.o" "gcc" "src/tcp/CMakeFiles/mpr_tcp.dir/congestion.cpp.o.d"
+  "/root/repo/src/tcp/endpoint.cpp" "src/tcp/CMakeFiles/mpr_tcp.dir/endpoint.cpp.o" "gcc" "src/tcp/CMakeFiles/mpr_tcp.dir/endpoint.cpp.o.d"
+  "/root/repo/src/tcp/listener.cpp" "src/tcp/CMakeFiles/mpr_tcp.dir/listener.cpp.o" "gcc" "src/tcp/CMakeFiles/mpr_tcp.dir/listener.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mpr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpr_tcp.dir/congestion.cpp.o"
+  "CMakeFiles/mpr_tcp.dir/congestion.cpp.o.d"
+  "CMakeFiles/mpr_tcp.dir/endpoint.cpp.o"
+  "CMakeFiles/mpr_tcp.dir/endpoint.cpp.o.d"
+  "CMakeFiles/mpr_tcp.dir/listener.cpp.o"
+  "CMakeFiles/mpr_tcp.dir/listener.cpp.o.d"
+  "libmpr_tcp.a"
+  "libmpr_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpr_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmpr_tcp.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_test.dir/app_test.cpp.o"
+  "CMakeFiles/app_test.dir/app_test.cpp.o.d"
+  "app_test"
+  "app_test.pdb"
+  "app_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

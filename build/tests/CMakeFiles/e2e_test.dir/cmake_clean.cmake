@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_test.dir/e2e_test.cpp.o"
+  "CMakeFiles/e2e_test.dir/e2e_test.cpp.o.d"
+  "e2e_test"
+  "e2e_test.pdb"
+  "e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

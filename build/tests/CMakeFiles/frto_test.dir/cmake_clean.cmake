@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frto_test.dir/frto_test.cpp.o"
+  "CMakeFiles/frto_test.dir/frto_test.cpp.o.d"
+  "frto_test"
+  "frto_test.pdb"
+  "frto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

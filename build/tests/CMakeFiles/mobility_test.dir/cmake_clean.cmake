@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_test.dir/mobility_test.cpp.o"
+  "CMakeFiles/mobility_test.dir/mobility_test.cpp.o.d"
+  "mobility_test"
+  "mobility_test.pdb"
+  "mobility_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

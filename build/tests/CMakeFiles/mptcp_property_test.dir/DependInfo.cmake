@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mptcp_property_test.cpp" "tests/CMakeFiles/mptcp_property_test.dir/mptcp_property_test.cpp.o" "gcc" "tests/CMakeFiles/mptcp_property_test.dir/mptcp_property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiment/CMakeFiles/mpr_experiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/mpr_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mpr_mptcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/netem/CMakeFiles/mpr_netem.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mpr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/mpr_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mpr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mptcp_test.dir/mptcp_test.cpp.o"
+  "CMakeFiles/mptcp_test.dir/mptcp_test.cpp.o.d"
+  "mptcp_test"
+  "mptcp_test.pdb"
+  "mptcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mptcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netem_test.dir/netem_test.cpp.o"
+  "CMakeFiles/netem_test.dir/netem_test.cpp.o.d"
+  "netem_test"
+  "netem_test.pdb"
+  "netem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

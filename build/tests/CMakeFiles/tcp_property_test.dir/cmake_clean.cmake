@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_property_test.dir/tcp_property_test.cpp.o"
+  "CMakeFiles/tcp_property_test.dir/tcp_property_test.cpp.o.d"
+  "tcp_property_test"
+  "tcp_property_test.pdb"
+  "tcp_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webpage_test.dir/webpage_test.cpp.o"
+  "CMakeFiles/webpage_test.dir/webpage_test.cpp.o.d"
+  "webpage_test"
+  "webpage_test.pdb"
+  "webpage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webpage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_cc.dir/calibrate_cc.cpp.o"
+  "CMakeFiles/calibrate_cc.dir/calibrate_cc.cpp.o.d"
+  "calibrate_cc"
+  "calibrate_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

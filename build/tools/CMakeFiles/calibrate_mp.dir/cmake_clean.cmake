@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_mp.dir/calibrate_mp.cpp.o"
+  "CMakeFiles/calibrate_mp.dir/calibrate_mp.cpp.o.d"
+  "calibrate_mp"
+  "calibrate_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpr_run.dir/mpr_run.cpp.o"
+  "CMakeFiles/mpr_run.dir/mpr_run.cpp.o.d"
+  "mpr_run"
+  "mpr_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpr_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpr_trace.dir/mpr_trace.cpp.o"
+  "CMakeFiles/mpr_trace.dir/mpr_trace.cpp.o.d"
+  "mpr_trace"
+  "mpr_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpr_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe.dir/probe.cpp.o"
+  "CMakeFiles/probe.dir/probe.cpp.o.d"
+  "probe"
+  "probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
