@@ -8,6 +8,7 @@
 // is the reproduction target (see EXPERIMENTS.md).
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -18,6 +19,8 @@
 #include "experiment/run.h"
 #include "experiment/series.h"
 #include "experiment/table.h"
+#include "sim/event_queue.h"
+#include "sim/thread_pool.h"
 
 namespace mpr::bench {
 
@@ -51,8 +54,32 @@ inline TestbedConfig testbed_for(Carrier carrier, bool hotspot = false) {
   return tb;
 }
 
+/// Number of parallel campaign jobs this bench will use (MPR_JOBS).
+inline unsigned jobs() { return sim::effective_jobs(); }
+
+namespace detail {
+inline std::chrono::steady_clock::time_point bench_start;
+
+/// Perf trailer printed at exit: wall clock, simulator events executed
+/// (summed over every run's EventQueue) and throughput, so perf PRs have a
+/// trajectory to compare against.
+inline void print_perf_trailer() {
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - bench_start).count();
+  const std::uint64_t events = sim::EventQueue::total_executed();
+  std::printf("\n[perf] wall=%.2fs events=%llu rate=%.2fM events/s jobs=%u\n", wall_s,
+              static_cast<unsigned long long>(events),
+              wall_s > 0 ? static_cast<double>(events) / wall_s * 1e-6 : 0.0, jobs());
+}
+}  // namespace detail
+
 inline void header(const std::string& id, const std::string& title,
                    const std::string& note = "") {
+  [[maybe_unused]] static const bool instrumented = [] {
+    detail::bench_start = std::chrono::steady_clock::now();
+    std::atexit(detail::print_perf_trailer);
+    return true;
+  }();
   std::printf("\n==== %s: %s ====\n", id.c_str(), title.c_str());
   if (!note.empty()) std::printf("     %s\n", note.c_str());
 }

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "sim/rng.h"
+#include "sim/thread_pool.h"
 
 namespace mpr::experiment {
 
@@ -16,15 +17,27 @@ std::string period_name(int period) {
   }
 }
 
-std::map<std::string, std::vector<RunResult>> run_matrix(
-    const std::vector<MatrixEntry>& entries, int reps, std::uint64_t seed) {
-  std::map<std::string, std::vector<RunResult>> results;
+namespace {
+
+/// One (entry, rep) measurement with its fully-derived testbed config.
+struct Cell {
+  std::size_t entry;
+  TestbedConfig testbed;
+};
+
+/// Expands the campaign into cells in legacy execution order: rep-major,
+/// order shuffled within each rep round (§3.2). Each cell's seed derives
+/// only from (label, rep), so the shuffle decides *when* a cell runs, never
+/// what it measures.
+std::vector<Cell> build_cells(const std::vector<MatrixEntry>& entries, int reps,
+                              std::uint64_t seed) {
   sim::SeedSequence seeds{seed};
   sim::Rng shuffle_rng = seeds.stream("matrix.shuffle");
 
+  std::vector<Cell> cells;
+  cells.reserve(entries.size() * static_cast<std::size_t>(std::max(reps, 0)));
   for (int rep = 0; rep < reps; ++rep) {
     const int period = rep % static_cast<int>(kPeriodLoadFactors.size());
-    // Randomize configuration order within the round (§3.2).
     std::vector<std::size_t> order(entries.size());
     std::iota(order.begin(), order.end(), 0);
     std::shuffle(order.begin(), order.end(), shuffle_rng.engine());
@@ -34,17 +47,48 @@ std::map<std::string, std::vector<RunResult>> run_matrix(
       TestbedConfig tb = e.testbed;
       tb.load_factor *= kPeriodLoadFactors[static_cast<std::size_t>(period)];
       tb.seed = seeds.seed_for(e.label + "#" + std::to_string(rep));
-      results[e.label].push_back(run_download(tb, e.run));
+      cells.push_back(Cell{idx, tb});
     }
+  }
+  return cells;
+}
+
+/// Runs every cell (in the calling thread when jobs resolves to 1 —
+/// replaying the serial schedule exactly — otherwise across a thread pool)
+/// and returns results indexed by cell. Cells are independent simulations,
+/// so assembly by index makes the output schedule-invariant.
+std::vector<RunResult> run_cells(const std::vector<MatrixEntry>& entries,
+                                 const std::vector<Cell>& cells, int jobs) {
+  std::vector<RunResult> out(cells.size());
+  sim::parallel_for_index(cells.size(), sim::effective_jobs(jobs), [&](std::size_t i) {
+    out[i] = run_download(cells[i].testbed, entries[cells[i].entry].run);
+  });
+  return out;
+}
+
+}  // namespace
+
+std::map<std::string, std::vector<RunResult>> run_matrix(
+    const std::vector<MatrixEntry>& entries, int reps, std::uint64_t seed, int jobs) {
+  const std::vector<Cell> cells = build_cells(entries, reps, seed);
+  std::vector<RunResult> out = run_cells(entries, cells, jobs);
+
+  // Walking cells in execution order reproduces the legacy grouping: one
+  // push per (label, rep), rep-major, so results[label] is in rep order.
+  std::map<std::string, std::vector<RunResult>> results;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    results[entries[cells[i].entry].label].push_back(std::move(out[i]));
   }
   return results;
 }
 
 std::vector<RunResult> run_series(const TestbedConfig& testbed, const RunConfig& run, int reps,
-                                  std::uint64_t seed) {
+                                  std::uint64_t seed, int jobs) {
+  // Single entry: cell order is rep order, so the per-cell results are the
+  // series — no std::map round-trip (which would silently hand back an
+  // empty vector if the label key ever drifted).
   const std::vector<MatrixEntry> one{MatrixEntry{"series", testbed, run}};
-  auto grouped = run_matrix(one, reps, seed);
-  return std::move(grouped["series"]);
+  return run_cells(one, build_cells(one, reps, seed), jobs);
 }
 
 analysis::Summary download_time_summary(const std::vector<RunResult>& rs) {

@@ -29,13 +29,20 @@ struct MatrixEntry {
 /// and randomizing the execution order within each rep round (the paper
 /// randomizes file sizes / carriers / controllers within each round).
 /// Returns results grouped by label, in rep order.
+///
+/// Cells are dispatched across `jobs` worker threads (0 = the MPR_JOBS
+/// environment variable, else hardware_concurrency; 1 = the exact legacy
+/// serial path). Every (entry, rep) cell is an isolated simulation whose
+/// seed derives only from (label, rep), and results are assembled by cell
+/// index, so output is bit-identical for every job count.
 [[nodiscard]] std::map<std::string, std::vector<RunResult>> run_matrix(
-    const std::vector<MatrixEntry>& entries, int reps, std::uint64_t seed);
+    const std::vector<MatrixEntry>& entries, int reps, std::uint64_t seed, int jobs = 0);
 
-/// Convenience for a single configuration.
+/// Convenience for a single configuration; same seeding and parallel
+/// dispatch as a one-entry run_matrix, returned directly in rep order.
 [[nodiscard]] std::vector<RunResult> run_series(const TestbedConfig& testbed,
                                                 const RunConfig& run, int reps,
-                                                std::uint64_t seed);
+                                                std::uint64_t seed, int jobs = 0);
 
 /// Download-time summary (seconds) over a result set.
 [[nodiscard]] analysis::Summary download_time_summary(const std::vector<RunResult>& rs);

@@ -1,15 +1,72 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace mpr::sim {
 
+std::atomic<std::uint64_t> EventQueue::total_executed_{0};
+
+namespace {
+// Min-heap order: earliest time first, FIFO (lowest seq) among equals.
+constexpr auto kLater = [](const auto& a, const auto& b) {
+  if (a.when != b.when) return a.when > b.when;
+  return a.seq > b.seq;
+};
+// Typical runs keep a few dozen pending events (timers + in-flight packets);
+// pre-sizing the slot table and heap avoids the early growth reallocations.
+constexpr std::size_t kInitialCapacity = 256;
+}  // namespace
+
+EventQueue::EventQueue() {
+  heap_.reserve(kInitialCapacity);
+  slots_.reserve(kInitialCapacity);
+  free_slots_.reserve(kInitialCapacity);
+}
+
+EventQueue::~EventQueue() {
+  total_executed_.fetch_add(executed_, std::memory_order_relaxed);
+}
+
+std::uint32_t EventQueue::acquire_slot(Action action) {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    Slot& s = slots_[slot];
+    s.action = std::move(action);
+    s.live = true;
+    return slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(slots_.size());
+  slots_.push_back(Slot{std::move(action), 0, true});
+  return slot;
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.action = nullptr;
+  s.live = false;
+  ++s.gen;  // invalidates every id minted for the previous occupant
+  free_slots_.push_back(slot);
+}
+
+void EventQueue::heap_push(Entry entry) {
+  heap_.push_back(entry);
+  std::push_heap(heap_.begin(), heap_.end(), kLater);
+}
+
+void EventQueue::heap_pop() {
+  std::pop_heap(heap_.begin(), heap_.end(), kLater);
+  heap_.pop_back();
+}
+
 EventId EventQueue::schedule_at(TimePoint when, Action action) {
   assert(action);
   if (when < now_) when = now_;  // never schedule into the past
-  const EventId id = next_id_++;
-  heap_.push(Entry{when, next_seq_++, id, std::move(action)});
+  const std::uint32_t slot = acquire_slot(std::move(action));
+  const EventId id = encode(slot, slots_[slot].gen);
+  heap_push(Entry{when, next_seq_++, slot});
   ++live_count_;
   return id;
 }
@@ -21,29 +78,37 @@ EventId EventQueue::schedule_after(Duration delay, Action action) {
 
 bool EventQueue::cancel(EventId id) {
   if (id == kInvalidEventId) return false;
-  // Lazy deletion: remember the id and skip it when it surfaces.
-  const bool inserted = cancelled_.insert(id).second;
-  if (inserted && live_count_ > 0) {
-    --live_count_;
-    return true;
-  }
-  return false;
+  const std::uint64_t slot_plus_one = id & 0xffffffffu;
+  if (slot_plus_one == 0 || slot_plus_one > slots_.size()) return false;
+  const auto slot = static_cast<std::uint32_t>(slot_plus_one - 1);
+  Slot& s = slots_[slot];
+  if (!s.live || s.gen != static_cast<std::uint32_t>(id >> 32)) return false;
+  // Tombstone: drop the action now (frees captured state), leave the heap
+  // entry to be skipped when it surfaces. The slot is recycled only then,
+  // so the id space stays unambiguous.
+  s.live = false;
+  s.action = nullptr;
+  --live_count_;
+  return true;
 }
 
 bool EventQueue::step() {
   while (!heap_.empty()) {
-    // priority_queue::top() is const; move out via const_cast, which is safe
-    // because we pop immediately and never inspect the moved-from entry.
-    Entry entry = std::move(const_cast<Entry&>(heap_.top()));
-    heap_.pop();
-    if (const auto it = cancelled_.find(entry.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
+    const Entry top = heap_.front();
+    heap_pop();
+    Slot& s = slots_[top.slot];
+    if (!s.live) {  // tombstoned by cancel(): skip and recycle
+      release_slot(top.slot);
       continue;
     }
-    now_ = entry.when;
+    // Move the action out before recycling: the action may schedule new
+    // events, which are free to reuse this slot immediately.
+    Action action = std::move(s.action);
+    release_slot(top.slot);
+    now_ = top.when;
     --live_count_;
     ++executed_;
-    entry.action();
+    action();
     return true;
   }
   return false;
@@ -51,10 +116,11 @@ bool EventQueue::step() {
 
 void EventQueue::run_until(TimePoint deadline) {
   while (!heap_.empty()) {
-    const Entry& top = heap_.top();
-    if (cancelled_.contains(top.id)) {
-      cancelled_.erase(top.id);
-      heap_.pop();
+    const Entry& top = heap_.front();
+    if (!slots_[top.slot].live) {
+      const std::uint32_t slot = top.slot;
+      heap_pop();
+      release_slot(slot);
       continue;
     }
     if (top.when > deadline) break;

@@ -3,12 +3,18 @@
 // A binary-heap event queue with cancellable events and FIFO ordering for
 // events scheduled at the same instant. All simulator components schedule
 // through this queue; there is no other source of time.
+//
+// Cancellation uses a generation/tombstone slot scheme instead of a hash
+// set: every pending event owns a slot in a recycled slot table, its id
+// encodes (slot, generation), and cancel() just tombstones the slot. The
+// pop path then checks liveness with one indexed load — no per-pop hash
+// lookup — which matters because every packet, timer and ACK of a run
+// funnels through here.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/time.h"
@@ -24,7 +30,8 @@ class EventQueue {
  public:
   using Action = std::function<void()>;
 
-  EventQueue() = default;
+  EventQueue();
+  ~EventQueue();
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
@@ -59,27 +66,47 @@ class EventQueue {
   /// Total events executed so far (for instrumentation and benchmarks).
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
+  /// Events executed by every EventQueue already destroyed, process-wide.
+  /// Benches use this for aggregate events/sec across campaign runs (each
+  /// run owns one queue and accumulates here when it is torn down).
+  [[nodiscard]] static std::uint64_t total_executed() {
+    return total_executed_.load(std::memory_order_relaxed);
+  }
+
  private:
+  // Heap entries carry only ordering keys plus the slot index; the action
+  // lives in the slot so tombstoned entries are 24 bytes of dead weight in
+  // the heap, not a dangling std::function.
   struct Entry {
     TimePoint when;
     std::uint64_t seq;  // tie-break: FIFO at equal times
-    EventId id;
-    Action action;
+    std::uint32_t slot;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+  struct Slot {
+    Action action;
+    std::uint32_t gen{0};
+    bool live{false};
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> cancelled_;
+  [[nodiscard]] static EventId encode(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) | (static_cast<EventId>(slot) + 1);
+  }
+
+  std::uint32_t acquire_slot(Action action);
+  void release_slot(std::uint32_t slot);  // bumps generation, recycles
+
+  void heap_push(Entry entry);
+  void heap_pop();  // removes heap_[0]
+
+  std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   TimePoint now_{};
   std::uint64_t next_seq_{0};
-  EventId next_id_{1};
   std::size_t live_count_{0};
   std::uint64_t executed_{0};
+
+  static std::atomic<std::uint64_t> total_executed_;
 };
 
 }  // namespace mpr::sim

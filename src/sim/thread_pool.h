@@ -1,0 +1,62 @@
+// Fixed-size worker pool for embarrassingly-parallel campaign jobs.
+//
+// Each simulation run is an isolated, independently-seeded job; the pool
+// only distributes whole jobs across threads (no work stealing, no shared
+// simulator state). Determinism therefore lives entirely with the caller:
+// assemble outputs by job index and the schedule cannot leak into results.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mpr::sim {
+
+class ThreadPool {
+ public:
+  using Job = std::function<void()>;
+
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job. Jobs must not throw; an escaping exception terminates.
+  void submit(Job job);
+
+  /// Blocks until every submitted job has finished executing.
+  void wait();
+
+  [[nodiscard]] unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: queue non-empty or stopping
+  std::condition_variable idle_cv_;   // waiters: all jobs drained
+  std::deque<Job> queue_;
+  std::size_t in_flight_{0};          // queued + currently running
+  bool stop_{false};
+  std::vector<std::thread> workers_;
+};
+
+/// Number of jobs to use for a campaign: `requested` if > 0, otherwise the
+/// MPR_JOBS environment variable, otherwise hardware_concurrency. Always
+/// >= 1; MPR_JOBS=1 selects the exact single-threaded legacy path.
+[[nodiscard]] unsigned effective_jobs(int requested = 0);
+
+/// Runs `body(0) .. body(n-1)` across `jobs` threads (in the calling thread
+/// when jobs <= 1 or n <= 1, preserving index order exactly). Each index is
+/// executed exactly once; bodies must only touch their own slot of any
+/// shared output.
+void parallel_for_index(std::size_t n, unsigned jobs,
+                        const std::function<void(std::size_t)>& body);
+
+}  // namespace mpr::sim

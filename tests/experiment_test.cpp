@@ -57,6 +57,59 @@ TEST(Series, MatrixRunsEveryEntryEveryRep) {
   }
 }
 
+// Exact (bitwise) equality over every field the runner fills in; any
+// schedule leak into the results shows up here.
+void expect_identical(const RunResult& a, const RunResult& b, const std::string& where) {
+  EXPECT_EQ(a.completed, b.completed) << where;
+  EXPECT_EQ(a.download_time_s, b.download_time_s) << where;
+  EXPECT_EQ(a.penalizations, b.penalizations) << where;
+  EXPECT_EQ(a.reinjections, b.reinjections) << where;
+  EXPECT_EQ(a.wifi_energy_j, b.wifi_energy_j) << where;
+  EXPECT_EQ(a.cellular_energy_j, b.cellular_energy_j) << where;
+  EXPECT_EQ(a.ofo_ms, b.ofo_ms) << where;
+  const auto expect_path_eq = [&where](const PathStats& x, const PathStats& y) {
+    EXPECT_EQ(x.bytes_received, y.bytes_received) << where;
+    EXPECT_EQ(x.data_packets_sent, y.data_packets_sent) << where;
+    EXPECT_EQ(x.rexmit_packets, y.rexmit_packets) << where;
+    EXPECT_EQ(x.rtt_ms, y.rtt_ms) << where;
+    EXPECT_EQ(x.subflows, y.subflows) << where;
+  };
+  expect_path_eq(a.wifi, b.wifi);
+  expect_path_eq(a.cellular, b.cellular);
+}
+
+TEST(Series, MatrixIsBitIdenticalAcrossJobCounts) {
+  TestbedConfig tb;
+  RunConfig mp = quick_run();
+  mp.mode = PathMode::kMptcp2;
+  const std::vector<MatrixEntry> entries{
+      {"wifi", tb, quick_run()},
+      {"mp", tb, mp},
+      {"cell", tb, [] { RunConfig rc = quick_run(); rc.mode = PathMode::kSingleCellular; return rc; }()},
+  };
+  const auto serial = run_matrix(entries, 4, 99, /*jobs=*/1);
+  const auto parallel = run_matrix(entries, 4, 99, /*jobs=*/8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (const auto& [label, rs] : serial) {
+    ASSERT_TRUE(parallel.contains(label)) << label;
+    ASSERT_EQ(rs.size(), parallel.at(label).size()) << label;
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      expect_identical(rs[i], parallel.at(label)[i], label + "#" + std::to_string(i));
+    }
+  }
+}
+
+TEST(Series, SeriesMatchesSingleEntryMatrix) {
+  TestbedConfig tb;
+  const auto direct = run_series(tb, quick_run(), 3, 123, /*jobs=*/2);
+  const auto grouped = run_matrix({MatrixEntry{"series", tb, quick_run()}}, 3, 123, /*jobs=*/1);
+  ASSERT_EQ(direct.size(), 3u);
+  ASSERT_EQ(grouped.at("series").size(), 3u);
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    expect_identical(direct[i], grouped.at("series")[i], "series#" + std::to_string(i));
+  }
+}
+
 TEST(Series, MatrixIsDeterministicForSeed) {
   TestbedConfig tb;
   const std::vector<MatrixEntry> entries{{"a", tb, quick_run()}};

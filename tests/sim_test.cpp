@@ -1,12 +1,15 @@
 // Unit tests for the simulation core: time arithmetic, the event queue's
-// ordering/cancellation semantics, and deterministic RNG streams.
+// ordering/cancellation semantics, deterministic RNG streams, and the
+// campaign thread pool.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <vector>
 
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 #include "sim/simulation.h"
+#include "sim/thread_pool.h"
 #include "sim/time.h"
 
 namespace mpr::sim {
@@ -131,6 +134,71 @@ TEST(EventQueueTest, PastSchedulingClampsToNow) {
   EXPECT_EQ(q.now(), TimePoint::from_ns(1000));
 }
 
+TEST(EventQueueTest, CancelAfterFireReturnsFalse) {
+  EventQueue q;
+  int runs = 0;
+  const EventId id = q.schedule_after(Duration::millis(1), [&] { ++runs; });
+  q.run();
+  EXPECT_EQ(runs, 1);
+  // The slot was recycled when the event fired; its old id must stay dead.
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, CancelTwiceSecondIsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule_after(Duration::millis(1), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // tombstoned, heap entry still pending
+  q.run();                     // pops the tombstone and recycles the slot
+  EXPECT_FALSE(q.cancel(id));  // generation bumped: still dead
+}
+
+TEST(EventQueueTest, StaleCancelDoesNotKillSlotReuse) {
+  EventQueue q;
+  const EventId old_id = q.schedule_at(TimePoint::from_ns(10), [] {});
+  EXPECT_TRUE(q.cancel(old_id));
+  q.run();  // drains the tombstone; the slot returns to the free list
+  bool ran = false;
+  const EventId new_id = q.schedule_at(TimePoint::from_ns(20), [&] { ran = true; });
+  EXPECT_NE(new_id, old_id);
+  // The recycled slot now belongs to new_id; the stale id must not touch it.
+  EXPECT_FALSE(q.cancel(old_id));
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueueTest, FifoPreservedAcrossCancelAndSlotReuse) {
+  EventQueue q;
+  std::vector<int> order;
+  const TimePoint t = TimePoint::from_ns(100);
+  q.schedule_at(t, [&] { order.push_back(0); });
+  const EventId dead = q.schedule_at(t, [&] { order.push_back(1); });
+  q.schedule_at(t, [&] { order.push_back(2); });
+  EXPECT_TRUE(q.cancel(dead));
+  // Newly scheduled events at the same instant run after older ones even
+  // when they reuse a cancelled event's storage.
+  q.schedule_at(t, [&] { order.push_back(3); });
+  q.schedule_at(t, [&] { order.push_back(4); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, HeavyCancelChurnKeepsTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 200; ++i) {
+    ids.push_back(q.schedule_at(TimePoint::from_ns(1000 - i), [&fired, i] { fired.push_back(i); }));
+  }
+  for (int i = 0; i < 200; i += 2) EXPECT_TRUE(q.cancel(ids[static_cast<std::size_t>(i)]));
+  q.run();
+  ASSERT_EQ(fired.size(), 100u);
+  // Odd indices survive; they were scheduled at descending times.
+  for (std::size_t k = 1; k < fired.size(); ++k) EXPECT_GT(fired[k - 1], fired[k]);
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(EventQueueTest, ExecutedCounter) {
   EventQueue q;
   for (int i = 0; i < 7; ++i) q.schedule_after(Duration::nanos(i), [] {});
@@ -200,6 +268,59 @@ TEST(RngTest, LognormalMedian) {
 TEST(RngTest, ParetoBounds) {
   Rng r{17};
   for (int i = 0; i < 1000; ++i) EXPECT_GE(r.pareto(1.5, 2.0), 2.0);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedJob) {
+  ThreadPool pool{4};
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool{2};
+  std::atomic<int> count{0};
+  pool.submit([&count] { ++count; });
+  pool.wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.submit([&count] { ++count; });
+  pool.submit([&count] { ++count; });
+  pool.wait();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool{0};
+  EXPECT_EQ(pool.thread_count(), 1u);
+  bool ran = false;
+  pool.submit([&ran] { ran = true; });
+  pool.wait();
+  EXPECT_TRUE(ran);
+}
+
+TEST(ParallelForIndex, CoversEachIndexExactlyOnce) {
+  for (const unsigned jobs : {1u, 3u, 8u}) {
+    std::vector<std::atomic<int>> hits(57);
+    parallel_for_index(hits.size(), jobs, [&hits](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelForIndex, SerialPathPreservesIndexOrder) {
+  std::vector<std::size_t> order;
+  parallel_for_index(10, 1, [&order](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 10u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EffectiveJobs, ExplicitRequestWins) {
+  EXPECT_EQ(effective_jobs(3), 3u);
+  EXPECT_EQ(effective_jobs(1), 1u);
+  EXPECT_GE(effective_jobs(0), 1u);  // env or hardware_concurrency, never 0
 }
 
 TEST(SimulationTest, SchedulingHelpers) {

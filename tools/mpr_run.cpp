@@ -16,14 +16,17 @@
 //   --backup   join cellular in backup mode
 //   --codel    CoDel on the cellular downlink
 //   --reps     repetitions (default 1)
+//   --jobs     worker threads for the reps (default MPR_JOBS, else all cores)
 //   --json     machine-readable output
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "cli_flags.h"
 #include "experiment/carriers.h"
 #include "experiment/run.h"
 #include "experiment/series.h"
+#include "sim/thread_pool.h"
 
 using namespace mpr;
 using namespace mpr::experiment;
@@ -109,15 +112,24 @@ int main(int argc, char** argv) {
 
   const int reps = static_cast<int>(flags.get_int("reps", 1));
   const bool json = flags.get_bool("json");
-  for (int i = 0; i < reps; ++i) {
+
+  // Reps are independently-seeded simulations: run them across the worker
+  // pool, then print in rep order so output is identical at any job count.
+  std::vector<RunResult> results(static_cast<std::size_t>(reps));
+  const unsigned jobs = sim::effective_jobs(static_cast<int>(flags.get_int("jobs", 0)));
+  sim::parallel_for_index(results.size(), jobs, [&](std::size_t i) {
     TestbedConfig tbi = tb;
     tbi.seed = tb.seed + static_cast<std::uint64_t>(i);
-    const RunResult r = run_download(tbi, rc);
+    results[i] = run_download(tbi, rc);
+  });
+
+  for (int i = 0; i < reps; ++i) {
+    const RunResult& r = results[static_cast<std::size_t>(i)];
     if (json) {
       print_json(r);
     } else {
       if (reps > 1) std::printf("--- rep %d (seed %llu) ---\n", i,
-                                static_cast<unsigned long long>(tbi.seed));
+                                static_cast<unsigned long long>(tb.seed + static_cast<std::uint64_t>(i)));
       print_text(r);
     }
   }
