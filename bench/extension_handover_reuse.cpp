@@ -85,8 +85,9 @@ int main() {
     std::printf("%-12s %-16s n=%d\n", experiment::fmt_scalar(outage, "s", 1).c_str(),
                 experiment::fmt_scalar(sum / counted, "s", 2).c_str(), counted);
   }
-  std::printf("\nShape check: re-use delay grows super-linearly with outage length —\n"
-              "the stalled subflow probes at exponentially backed-off RTOs, so a\n"
-              "long outage leaves the restored path unused for many seconds.\n");
+  std::printf("\nShape check: re-use delay grows with outage length — the stalled\n"
+              "subflow probes at exponentially backed-off RTOs — but is bounded by\n"
+              "the dead-path RTO cap (TcpConfig::dead_rto_cap), so even a long\n"
+              "outage leaves the restored path idle for at most about the cap.\n");
   return 0;
 }

@@ -1,0 +1,82 @@
+// Extension (scenario subsystem) — download completion under a scripted
+// mid-transfer WiFi blackout.
+//
+// A 16 MB download starts over WiFi+LTE; at t=2s the WiFi access goes dark
+// for 10 s (every packet dropped), then recovers. MPTCP declares the WiFi
+// subflow dead after consecutive RTOs, reinjects its stranded DSNs over
+// cellular and keeps the transfer moving; single-path TCP over the same
+// WiFi link can only sit out the blackout (plus the post-restore RTO wait).
+// The same schedule replayed with `ifdown`/`ifup` additionally exercises
+// REMOVE_ADDR and the re-join path.
+#include "common.h"
+#include "netem/faults.h"
+
+using namespace mpr;
+using namespace mpr::bench;
+
+namespace {
+
+constexpr std::uint64_t kObject = 16 * kMB;
+constexpr double kOutageStart = 2.0;
+constexpr double kOutageLen = 10.0;
+
+netem::FaultSchedule blackout(bool iface_events) {
+  netem::FaultSchedule s;
+  if (iface_events) {
+    s.iface_down(kOutageStart, "wifi").iface_up(kOutageStart + kOutageLen, "wifi");
+  } else {
+    s.outage(kOutageStart, "wifi").restore(kOutageStart + kOutageLen, "wifi");
+  }
+  return s;
+}
+
+void row(const std::string& label, const std::vector<RunResult>& rs) {
+  int completed = 0;
+  double reinjections = 0;
+  for (const RunResult& r : rs) {
+    if (r.completed) ++completed;
+    reinjections += static_cast<double>(r.reinjections);
+  }
+  std::printf("%-26s %-20s completed=%d/%zu reinj=%.1f\n", label.c_str(), box_s(rs).c_str(),
+              completed, rs.size(), reinjections / static_cast<double>(rs.size()));
+}
+
+}  // namespace
+
+int main() {
+  header("Extension: outage recovery",
+         "16 MB download with a scripted 10 s WiFi blackout at t=2 s",
+         "download time min/q1/med/q3/max (s); SP-WiFi pays the blackout, MP-2 routes around it");
+  const int n = reps(10);
+  const std::uint64_t seed = 7070;
+
+  experiment::TestbedConfig tb = testbed_for(Carrier::kAtt);
+
+  RunConfig base;
+  base.file_bytes = kObject;
+  base.timeout = sim::Duration::seconds(600);
+
+  RunConfig mp_clean = base;
+  RunConfig mp_outage = base;
+  mp_outage.faults = blackout(/*iface_events=*/false);
+  RunConfig mp_ifdown = base;
+  mp_ifdown.faults = blackout(/*iface_events=*/true);
+  RunConfig sp_outage = base;
+  sp_outage.mode = PathMode::kSingleWifi;
+  sp_outage.faults = blackout(/*iface_events=*/false);
+  RunConfig sp_clean = base;
+  sp_clean.mode = PathMode::kSingleWifi;
+
+  row("MP-2 (no fault)", experiment::run_series(tb, mp_clean, n, seed));
+  row("MP-2 + blackout", experiment::run_series(tb, mp_outage, n, seed));
+  row("MP-2 + ifdown/ifup", experiment::run_series(tb, mp_ifdown, n, seed));
+  row("SP-WiFi (no fault)", experiment::run_series(tb, sp_clean, n, seed));
+  row("SP-WiFi + blackout", experiment::run_series(tb, sp_outage, n, seed));
+
+  std::printf(
+      "\nShape check: the MP-2 blackout penalty is a small fraction of the 10 s\n"
+      "outage (stranded data is reinjected over cellular), while SP-WiFi's\n"
+      "median grows by at least the blackout length. ifdown/ifup adds the\n"
+      "REMOVE_ADDR round and the re-join handshake on top of the raw outage.\n");
+  return 0;
+}

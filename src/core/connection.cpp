@@ -191,6 +191,10 @@ void MptcpConnection::accept_join(const net::Packet& join_syn) {
 }
 
 void MptcpConnection::on_subflow_established(MptcpSubflow& sf) {
+  dead_since_.reset();
+  if (role_ == Role::kClient && sf.kind() == MptcpSubflow::HandshakeKind::kJoin) {
+    clear_join_retry(sf.local().addr, sf.remote().addr);
+  }
   if (!established_) {
     established_ = true;
     if (role_ == Role::kServer && !advertise_addrs_.empty()) {
@@ -213,7 +217,7 @@ void MptcpConnection::decorate_extra(MptcpSubflow& sf, net::Packet& p) {
       !advertise_addrs_.empty()) {
     p.tcp.add_addr = net::AddAddrOption{advertise_addrs_[0], 1};
   }
-  if (remove_addr_pending_) p.tcp.remove_addr = net::RemoveAddrOption{*remove_addr_pending_};
+  if (remove_addr_pending_) p.tcp.remove_addr = *remove_addr_pending_;
   // Keep signalling DATA_FIN until the peer has seen the whole stream
   // (receivers treat repeats as idempotent).
   if (data_fin_sent_ && app_pending_ == 0 && p.tcp.dss) {
@@ -277,9 +281,17 @@ std::optional<tcp::TcpEndpoint::Chunk> MptcpConnection::next_chunk_for(
   if (sf.backup() && any_healthy_regular_subflow()) return std::nullopt;
 
   // Reinjections of stranded data first (never back onto the origin unless
-  // it is the only subflow).
-  for (auto it = reinject_queue_.begin(); it != reinject_queue_.end(); ++it) {
-    if (it->origin == sf.id() && subflows_.size() > 1) continue;
+  // it is the only subflow). Entries the peer has data-acked in the
+  // meantime are dropped on the way.
+  for (auto it = reinject_queue_.begin(); it != reinject_queue_.end();) {
+    if (it->dsn + it->len <= data_una_) {
+      it = reinject_queue_.erase(it);
+      continue;
+    }
+    if (it->origin == sf.id() && subflows_.size() > 1) {
+      ++it;
+      continue;
+    }
     tcp::TcpEndpoint::Chunk chunk;
     chunk.dsn = it->dsn;
     if (it->len <= max_len) {
@@ -324,6 +336,13 @@ void MptcpConnection::on_data_ack(std::uint64_t data_ack) {
   if (data_ack <= data_una_) return;
   maybe_start_joins();
   data_una_ = data_ack;
+  dead_since_.reset();  // data-level progress: some path works
+  // Drop reinjection state the ack has made moot.
+  while (!reinject_queue_.empty() &&
+         reinject_queue_.front().dsn + reinject_queue_.front().len <= data_una_) {
+    reinject_queue_.pop_front();
+  }
+  std::erase_if(reinjected_dsns_, [this](const auto& kv) { return kv.first < data_una_; });
   maybe_close_subflows();
   pump_all();
 }
@@ -339,18 +358,156 @@ void MptcpConnection::maybe_close_subflows() {
 void MptcpConnection::strand(MptcpSubflow& sf) {
   for (const auto& m : sf.outstanding_mappings()) {
     if (m.dsn + m.len <= data_una_) continue;  // already delivered
-    if (!reinjected_dsns_.insert(m.dsn).second) continue;
+    const auto [it, inserted] = reinjected_dsns_.try_emplace(m.dsn, sf.id());
+    if (!inserted) {
+      // Already reinjected once. Same origin: still queued/in flight
+      // elsewhere, nothing to do. Different origin: *this* subflow was the
+      // reinjection target and has now died too — queue it again.
+      if (it->second == sf.id()) continue;
+      it->second = sf.id();
+    }
     reinject_queue_.push_back(Reinject{m.dsn, m.len, sf.id()});
   }
 }
 
 void MptcpConnection::on_subflow_rto(MptcpSubflow& sf) {
-  if (!config_.reinjection) return;
-  // A single timeout can be an isolated loss; reinject once a subflow has
-  // stalled repeatedly (two consecutive backoffs).
-  if (sf.metrics().timeouts < 2) return;
-  strand(sf);
-  if (!reinject_queue_.empty()) pump_all();
+  if (config_.reinjection &&
+      sf.consecutive_timeouts() >= config_.subflow.dead_rto_threshold) {
+    // A single timeout can be an isolated loss; reinject once the subflow
+    // has stalled past the dead-path threshold.
+    strand(sf);
+    if (!reinject_queue_.empty()) pump_all();
+  }
+  note_paths_dead();
+}
+
+// ---------------------------------------------------------------------------
+// Failure-path hardening: MP_JOIN retries and the all-paths-dead deadline.
+
+void MptcpConnection::on_subflow_connect_failed(MptcpSubflow& sf) {
+  if (!failed_ && !closing()) {
+    if (role_ == Role::kClient && sf.kind() == MptcpSubflow::HandshakeKind::kJoin &&
+        config_.join_retry) {
+      schedule_join_retry(sf.local().addr, sf.remote().addr);
+    } else if (sf.kind() == MptcpSubflow::HandshakeKind::kCapable && !established_) {
+      // The initial handshake gave up: there is no connection to fail over.
+      fail_connection();
+      return;
+    }
+  }
+  note_paths_dead();
+}
+
+void MptcpConnection::schedule_join_retry(net::IpAddr local, net::IpAddr remote) {
+  const std::uint64_t key = join_key(local, remote);
+  JoinRetryState& st = join_retries_[key];
+  if (st.timer != sim::kInvalidEventId) return;
+  sim::Duration delay = config_.join_retry_initial;
+  for (int i = 0; i < st.attempts && delay < config_.join_retry_cap; ++i) delay = delay * 2;
+  delay = std::min(delay, config_.join_retry_cap);
+  ++st.attempts;
+  st.timer = host_.sim().after(delay, [this, local, remote, key] {
+    join_retries_[key].timer = sim::kInvalidEventId;
+    retry_join(local, remote);
+  });
+}
+
+void MptcpConnection::retry_join(net::IpAddr local, net::IpAddr remote) {
+  if (failed_ || closing()) return;
+  if (std::find(local_addrs_.begin(), local_addrs_.end(), local) == local_addrs_.end()) return;
+  if (std::find(known_remote_addrs_.begin(), known_remote_addrs_.end(), remote) ==
+      known_remote_addrs_.end()) {
+    return;
+  }
+  // A live subflow on this pair (e.g. created by an address re-add in the
+  // meantime) makes the retry moot.
+  for (const auto& sf : subflows_) {
+    if (sf->local().addr == local && sf->remote().addr == remote &&
+        sf->state() != tcp::TcpState::kClosed && sf->state() != tcp::TcpState::kDone) {
+      return;
+    }
+  }
+  MptcpSubflow& sf = create_subflow(net::SocketAddr{local, host_.ephemeral_port()},
+                                    net::SocketAddr{remote, server_primary_.port},
+                                    MptcpSubflow::HandshakeKind::kJoin, is_backup_addr(local));
+  sf.connect();
+}
+
+void MptcpConnection::clear_join_retry(net::IpAddr local, net::IpAddr remote) {
+  const auto it = join_retries_.find(join_key(local, remote));
+  if (it == join_retries_.end()) return;
+  if (it->second.timer != sim::kInvalidEventId) host_.sim().cancel(it->second.timer);
+  join_retries_.erase(it);
+}
+
+bool MptcpConnection::any_viable_subflow() const {
+  for (const auto& sf : subflows_) {
+    switch (sf->state()) {
+      case tcp::TcpState::kSynSent:
+      case tcp::TcpState::kSynReceived:
+        return true;  // handshake still in progress
+      case tcp::TcpState::kEstablished:
+      case tcp::TcpState::kCloseWait:
+      case tcp::TcpState::kFinWait:
+      case tcp::TcpState::kLastAck:
+        if (sf->consecutive_timeouts() < config_.subflow.dead_rto_threshold) return true;
+        break;
+      default:
+        break;
+    }
+  }
+  return false;
+}
+
+void MptcpConnection::note_paths_dead() {
+  if (failed_ || closing()) return;
+  if (any_viable_subflow()) {
+    dead_since_.reset();
+    return;
+  }
+  const sim::TimePoint now = host_.sim().now();
+  if (!dead_since_) dead_since_ = now;
+  if (dead_timer_ == sim::kInvalidEventId) {
+    dead_timer_ = host_.sim().at(*dead_since_ + config_.all_paths_dead_timeout,
+                                 [this] { on_dead_deadline(); });
+  }
+}
+
+void MptcpConnection::on_dead_deadline() {
+  dead_timer_ = sim::kInvalidEventId;
+  if (failed_ || closing()) return;
+  if (any_viable_subflow()) {
+    dead_since_.reset();
+    return;
+  }
+  if (!dead_since_) return;  // recovered since (observed via a data ack)
+  const sim::TimePoint now = host_.sim().now();
+  if (now - *dead_since_ >= config_.all_paths_dead_timeout) {
+    fail_connection();
+    return;
+  }
+  // A newer dead episode started after the timer was armed; re-check then.
+  dead_timer_ = host_.sim().at(*dead_since_ + config_.all_paths_dead_timeout,
+                               [this] { on_dead_deadline(); });
+}
+
+void MptcpConnection::fail_connection() {
+  if (failed_) return;
+  failed_ = true;
+  for (auto& [key, st] : join_retries_) {
+    if (st.timer != sim::kInvalidEventId) host_.sim().cancel(st.timer);
+  }
+  join_retries_.clear();
+  if (dead_timer_ != sim::kInvalidEventId) {
+    host_.sim().cancel(dead_timer_);
+    dead_timer_ = sim::kInvalidEventId;
+  }
+  for (const auto& sf : subflows_) {
+    if (sf->state() != tcp::TcpState::kClosed && sf->state() != tcp::TcpState::kDone) {
+      sf->abort();
+    }
+  }
+  if (on_error) on_error();
 }
 
 // ---------------------------------------------------------------------------
@@ -370,19 +527,66 @@ void MptcpConnection::remove_local_addr(net::IpAddr addr) {
     sf->abort();
   }
   std::erase(local_addrs_, addr);
-  // Withdraw the address; the option stays attached (idempotent) so a lost
-  // ACK cannot strand the peer's subflows.
-  remove_addr_pending_ = addr;
+  // Cancel any join-retry backoff from the removed address.
+  for (auto it = join_retries_.begin(); it != join_retries_.end();) {
+    if (static_cast<std::uint32_t>(it->first >> 32) == addr.value) {
+      if (it->second.timer != sim::kInvalidEventId) host_.sim().cancel(it->second.timer);
+      it = join_retries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Withdraw the address; the option stays attached (idempotent via the
+  // generation stamp) so a lost ACK cannot strand the peer's subflows.
+  remove_addr_pending_ = net::RemoveAddrOption{addr, ++remove_addr_generation_};
   for (const auto& sf : subflows_) {
     if (sf->state() == tcp::TcpState::kEstablished) {
       sf->send_ack_now();
       break;
     }
   }
+  note_paths_dead();
   pump_all();
 }
 
-void MptcpConnection::on_remote_remove_addr(net::IpAddr addr) {
+void MptcpConnection::add_local_addr(net::IpAddr addr) {
+  if (failed_ || closing()) return;
+  if (std::find(local_addrs_.begin(), local_addrs_.end(), addr) == local_addrs_.end()) {
+    local_addrs_.push_back(addr);
+  }
+  // Stop withdrawing an address that is back; the generation stamp already
+  // protects new subflows against in-flight copies of the old option.
+  if (remove_addr_pending_ && remove_addr_pending_->addr == addr) {
+    remove_addr_pending_.reset();
+  }
+  if (role_ != Role::kClient || !joins_started_) return;
+  for (const net::IpAddr remote : known_remote_addrs_) {
+    bool have_live = false;
+    for (const auto& sf : subflows_) {
+      if (sf->local().addr == addr && sf->remote().addr == remote &&
+          sf->state() != tcp::TcpState::kClosed && sf->state() != tcp::TcpState::kDone) {
+        have_live = true;
+        break;
+      }
+    }
+    if (have_live) continue;
+    clear_join_retry(addr, remote);  // fresh interface: reset the backoff
+    MptcpSubflow& sf = create_subflow(net::SocketAddr{addr, host_.ephemeral_port()},
+                                      net::SocketAddr{remote, server_primary_.port},
+                                      MptcpSubflow::HandshakeKind::kJoin, is_backup_addr(addr));
+    sf.connect();
+  }
+}
+
+void MptcpConnection::on_remote_remove_addr(net::IpAddr addr, std::uint32_t generation) {
+  // The withdrawal option is sticky at the sender; process each generation
+  // once, or a re-added address's new subflows would be torn down by stale
+  // copies still attached to packets in flight.
+  if (const auto it = remove_addr_seen_.find(addr);
+      it != remove_addr_seen_.end() && generation <= it->second) {
+    return;
+  }
+  remove_addr_seen_[addr] = generation;
   for (const auto& sf : subflows_) {
     if (sf->remote().addr != addr || sf->state() == tcp::TcpState::kClosed) continue;
     strand(*sf);

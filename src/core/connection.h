@@ -50,6 +50,17 @@ struct MptcpConfig {
   /// Reinject stranded data of a subflow after repeated RTOs.
   bool reinjection{true};
   std::uint64_t receive_buffer{8 * 1024 * 1024};
+  /// Retry MP_JOIN SYNs that exhausted their TCP-level retries (the kernel
+  /// path manager gives up forever; under scripted outages that permanently
+  /// loses the second path). Backoff doubles from `join_retry_initial` up to
+  /// `join_retry_cap`.
+  bool join_retry{true};
+  sim::Duration join_retry_initial{sim::Duration::seconds(1)};
+  sim::Duration join_retry_cap{sim::Duration::seconds(30)};
+  /// Fail the connection (error to the app, not a hang) once *every*
+  /// subflow has been dead — no handshake in progress and past the
+  /// consecutive-RTO threshold — for this long.
+  sim::Duration all_paths_dead_timeout{sim::Duration::seconds(90)};
   /// Client interfaces to join in backup mode (RFC 6824 B bit): their
   /// subflows carry data only while no regular subflow is healthy —
   /// the "backup mode" of Paasch et al. that trades throughput for the
@@ -87,6 +98,10 @@ class MptcpConnection {
   std::function<void(std::uint64_t dsn, std::uint32_t len)> on_data;
   std::function<void()> on_established;
   std::function<void()> on_data_fin;
+  /// The connection failed: every subflow stayed dead past
+  /// `all_paths_dead_timeout` (or the initial handshake gave up). Subflows
+  /// are aborted before this fires; no further progress will happen.
+  std::function<void()> on_error;
 
   /// Mobility / path-management API (extensions; §6 of the paper).
   /// Re-prioritizes every subflow on `local_addr` and signals the peer
@@ -95,9 +110,14 @@ class MptcpConnection {
   /// The interface went away: kills its subflows, reinjects their stranded
   /// data onto the survivors, and withdraws the address with REMOVE_ADDR.
   void remove_local_addr(net::IpAddr addr);
+  /// The interface came back: re-adds the address and (re)joins every known
+  /// remote address from it, clearing any pending withdrawal and join-retry
+  /// backoff for the address.
+  void add_local_addr(net::IpAddr addr);
 
   // --- Introspection -------------------------------------------------------
   [[nodiscard]] bool established() const { return established_; }
+  [[nodiscard]] bool failed() const { return failed_; }
   [[nodiscard]] Role role() const { return role_; }
   [[nodiscard]] std::uint64_t token() const;
   [[nodiscard]] sim::TimePoint first_syn_time() const { return first_syn_time_; }
@@ -119,8 +139,9 @@ class MptcpConnection {
   void on_data_ack(std::uint64_t data_ack);
   void on_subflow_established(MptcpSubflow& sf);
   void on_subflow_rto(MptcpSubflow& sf);
+  void on_subflow_connect_failed(MptcpSubflow& sf);
   void on_remote_add_addr(net::IpAddr addr);
-  void on_remote_remove_addr(net::IpAddr addr);
+  void on_remote_remove_addr(net::IpAddr addr, std::uint32_t generation);
   void on_priority_change() { pump_all(); }
   void note_peer_window(std::uint64_t wnd) { peer_window_ = wnd; }
   void decorate_extra(MptcpSubflow& sf, net::Packet& p);
@@ -145,6 +166,18 @@ class MptcpConnection {
   void strand(MptcpSubflow& sf);
   void maybe_penalize();
   void maybe_close_subflows();
+  // Failure-path hardening.
+  [[nodiscard]] bool any_viable_subflow() const;
+  [[nodiscard]] bool closing() const { return subflows_closed_ || data_fin_delivered_; }
+  void note_paths_dead();
+  void on_dead_deadline();
+  void fail_connection();
+  void schedule_join_retry(net::IpAddr local, net::IpAddr remote);
+  void retry_join(net::IpAddr local, net::IpAddr remote);
+  void clear_join_retry(net::IpAddr local, net::IpAddr remote);
+  [[nodiscard]] static std::uint64_t join_key(net::IpAddr local, net::IpAddr remote) {
+    return (static_cast<std::uint64_t>(local.value) << 32) | remote.value;
+  }
 
   net::Host& host_;
   MptcpConfig config_;
@@ -154,7 +187,9 @@ class MptcpConnection {
   std::vector<net::IpAddr> known_remote_addrs_;
   std::vector<net::IpAddr> advertise_addrs_;  // server: extra NICs to announce
   bool add_addr_pending_{false};
-  std::optional<net::IpAddr> remove_addr_pending_;
+  std::optional<net::RemoveAddrOption> remove_addr_pending_;
+  std::uint32_t remove_addr_generation_{0};           // sender side
+  std::unordered_map<net::IpAddr, std::uint32_t> remove_addr_seen_;  // receiver side
 
   std::uint64_t local_key_{0};
   std::uint64_t remote_key_{0};
@@ -181,13 +216,27 @@ class MptcpConnection {
     std::uint8_t origin{0};
   };
   std::deque<Reinject> reinject_queue_;
-  std::unordered_set<std::uint64_t> reinjected_dsns_;
+  /// dsn -> id of the subflow that most recently stranded it. A map (not a
+  /// set) so that when the reinjection *target* dies too, the chunk is
+  /// queued again instead of being dropped by the dedup check — a cascading
+  /// failure must not strand data permanently.
+  std::unordered_map<std::uint64_t, std::uint8_t> reinjected_dsns_;
   std::uint64_t reinjected_chunks_{0};
 
   bool established_{false};
   bool joins_started_{false};
   bool subflows_closed_{false};
   sim::TimePoint first_syn_time_;
+
+  // Failure-path state.
+  bool failed_{false};
+  std::optional<sim::TimePoint> dead_since_;
+  sim::EventId dead_timer_{sim::kInvalidEventId};
+  struct JoinRetryState {
+    int attempts{0};
+    sim::EventId timer{sim::kInvalidEventId};
+  };
+  std::unordered_map<std::uint64_t, JoinRetryState> join_retries_;
 
   // Penalization bookkeeping.
   std::unordered_map<const MptcpSubflow*, sim::TimePoint> last_penalty_;

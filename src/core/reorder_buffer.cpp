@@ -12,23 +12,46 @@ bool ReorderBuffer::insert(std::uint64_t dsn, std::uint32_t len, sim::TimePoint 
     return true;
   }
 
+  // Partial overlap with already-delivered data (a reinjection or
+  // retransmission straddling rcv_nxt): trim the delivered prefix and
+  // process the rest. Without the trim the segment is neither a duplicate
+  // nor drainable (held_ keys never match rcv_nxt_) and would occupy buffer
+  // bytes forever, shrinking the advertised window.
+  if (dsn < rcv_nxt_) {
+    const auto overlap = static_cast<std::uint32_t>(rcv_nxt_ - dsn);
+    ++duplicates_;  // count the partially-duplicate arrival
+    dsn = rcv_nxt_;
+    len -= overlap;
+    if (held_.contains(dsn)) return true;
+  }
+
   if (dsn == rcv_nxt_) {
     // In-order on arrival: zero out-of-order delay.
     samples_.push_back(OfoSample{sim::Duration::zero(), subflow_id, len});
     delivered_bytes_ += len;
     rcv_nxt_ += len;
     if (on_deliver) on_deliver(dsn, len);
-    // Drain anything this unblocked.
+    // Drain anything this unblocked. Held segments may partially overlap
+    // what was just delivered (differently-chunked retransmissions); trim
+    // the delivered prefix rather than stalling on an inexact match.
     while (!held_.empty()) {
       auto it = held_.begin();
-      if (it->first != rcv_nxt_) break;
-      const Held& h = it->second;
-      samples_.push_back(OfoSample{arrival - h.arrival, h.subflow_id, h.len});
-      delivered_bytes_ += h.len;
-      rcv_nxt_ += h.len;
+      if (it->first > rcv_nxt_) break;
+      const std::uint64_t held_dsn = it->first;
+      const Held h = it->second;
       buffered_bytes_ -= h.len;
-      if (on_deliver) on_deliver(it->first, h.len);
       held_.erase(it);
+      if (held_dsn + h.len <= rcv_nxt_) {
+        ++duplicates_;  // fully covered by what was delivered meanwhile
+        continue;
+      }
+      const auto overlap = static_cast<std::uint32_t>(rcv_nxt_ - held_dsn);
+      const std::uint32_t fresh = h.len - overlap;
+      samples_.push_back(OfoSample{arrival - h.arrival, h.subflow_id, fresh});
+      delivered_bytes_ += fresh;
+      const std::uint64_t deliver_at = rcv_nxt_;
+      rcv_nxt_ += fresh;
+      if (on_deliver) on_deliver(deliver_at, fresh);
     }
     return true;
   }

@@ -45,7 +45,9 @@ void MptcpSubflow::process_options(const net::Packet& p) {
     conn_.set_remote_key(p.tcp.mp_capable->sender_key);
   }
   if (p.tcp.add_addr) conn_.on_remote_add_addr(p.tcp.add_addr->addr);
-  if (p.tcp.remove_addr) conn_.on_remote_remove_addr(p.tcp.remove_addr->addr);
+  if (p.tcp.remove_addr) {
+    conn_.on_remote_remove_addr(p.tcp.remove_addr->addr, p.tcp.remove_addr->generation);
+  }
   if (p.tcp.mp_prio && p.tcp.mp_prio->backup != backup_) {
     backup_ = p.tcp.mp_prio->backup;
     conn_.on_priority_change();
@@ -69,6 +71,8 @@ void MptcpSubflow::handle_data(std::uint64_t /*offset*/, std::uint32_t len,
 }
 
 void MptcpSubflow::handle_rto() { conn_.on_subflow_rto(*this); }
+
+void MptcpSubflow::handle_connect_failed() { conn_.on_subflow_connect_failed(*this); }
 
 std::uint64_t MptcpSubflow::advertised_window() const { return conn_.conn_window(); }
 

@@ -26,7 +26,8 @@ class MptcpSubflow final : public tcp::TcpEndpoint {
   [[nodiscard]] bool backup() const { return backup_; }
   /// A subflow is healthy when established and not in a timeout spiral.
   [[nodiscard]] bool healthy() const {
-    return state() == tcp::TcpState::kEstablished && consecutive_timeouts() < 2;
+    return state() == tcp::TcpState::kEstablished &&
+           consecutive_timeouts() < config().dead_rto_threshold;
   }
   /// Changes this subflow's backup priority and signals the peer with
   /// MP_PRIO (sticky on outgoing packets; idempotent at the receiver).
@@ -43,6 +44,7 @@ class MptcpSubflow final : public tcp::TcpEndpoint {
   void handle_data(std::uint64_t offset, std::uint32_t len,
                    const std::optional<net::DssOption>& dss) override;
   void handle_rto() override;
+  void handle_connect_failed() override;
   [[nodiscard]] std::uint64_t advertised_window() const override;
 
  private:

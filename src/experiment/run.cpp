@@ -131,6 +131,24 @@ RunResult run_download(const TestbedConfig& testbed_cfg, const RunConfig& run_cf
         tb.client(), tcfg, use_wifi ? kClientWifiAddr : kClientCellAddr, server_sock);
   }
 
+  // Scripted faults: netem-level effects on both access networks, plus the
+  // client stack's reaction to interface down/up.
+  netem::FaultInjector injector{sim};
+  injector.bind("wifi", &tb.wifi_access());
+  injector.bind("cell", &tb.cell_access());
+  if (multipath) {
+    const auto iface_addr = [](const std::string& link) {
+      return link == "wifi" ? kClientWifiAddr : kClientCellAddr;
+    };
+    injector.on_iface_down = [&mp_client, iface_addr](const std::string& link) {
+      mp_client->connection().remove_local_addr(iface_addr(link));
+    };
+    injector.on_iface_up = [&mp_client, iface_addr](const std::string& link) {
+      mp_client->connection().add_local_addr(iface_addr(link));
+    };
+  }
+  injector.install(run_cfg.faults);
+
   const auto start_measurement = [&] {
     const auto on_done = [&](const app::FetchResult& r) {
       fetch = r;
@@ -182,10 +200,14 @@ RunResult run_download(const TestbedConfig& testbed_cfg, const RunConfig& run_cf
     core::MptcpConnection* server_conn = nullptr;
     if (!mp_server->connections().empty()) server_conn = mp_server->connections().front();
     collect_mptcp(result, mp_client->connection(), server_conn);
+    result.failed = mp_client->connection().failed();
+    result.delivered_bytes = mp_client->connection().rx().delivered_bytes();
+    result.duplicate_packets = mp_client->connection().rx().duplicate_packets();
   } else {
     PathStats& ps = bucket(result, use_wifi ? kClientWifiAddr : kClientCellAddr);
     ps.subflows = 1;
     ps.bytes_received = sp_client->endpoint().metrics().bytes_received;
+    result.delivered_bytes = sp_client->endpoint().metrics().bytes_received;
     if (!sp_server->connections().empty()) {
       const tcp::FlowMetrics& m = sp_server->connections().front()->metrics();
       ps.data_packets_sent = m.data_packets_sent;

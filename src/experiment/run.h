@@ -9,6 +9,7 @@
 
 #include "core/connection.h"
 #include "experiment/testbed.h"
+#include "netem/faults.h"
 
 namespace mpr::experiment {
 
@@ -34,6 +35,13 @@ struct RunConfig {
   bool cellular_backup{false};
   /// Give up (incomplete run) after this much simulated time.
   sim::Duration timeout{sim::Duration::seconds(3600)};
+  /// Scripted fault timeline applied to the run's access networks ("wifi" /
+  /// "cell"; see netem::FaultSchedule). Times are relative to run start.
+  /// Interface down/up events additionally drive REMOVE_ADDR / re-join at
+  /// the MPTCP client. A value type, so campaign runners (run_series /
+  /// run_matrix) replay the same script in every repetition and the PR 1
+  /// determinism guarantee is preserved.
+  netem::FaultSchedule faults;
 };
 
 /// Per-interface aggregate (over all subflows using that interface).
@@ -53,7 +61,15 @@ struct PathStats {
 
 struct RunResult {
   bool completed{false};
+  /// The connection errored out (every subflow dead past the deadline or
+  /// the initial handshake gave up) rather than merely timing out.
+  bool failed{false};
   double download_time_s{0};
+  /// Application bytes delivered in order at the client (exactly-once
+  /// accounting for the fault experiments).
+  std::uint64_t delivered_bytes{0};
+  /// Duplicate arrivals absorbed by the connection-level reorder buffer.
+  std::uint64_t duplicate_packets{0};
   PathStats wifi;
   PathStats cellular;
   std::vector<double> ofo_ms;  // connection-level out-of-order delay samples

@@ -55,9 +55,14 @@ struct AddAddrOption {
 };
 
 /// REMOVE_ADDR: withdraws an address; the peer tears down subflows to it
-/// (mobility: an interface went away — §6 of the paper).
+/// (mobility: an interface went away — §6 of the paper). The option stays
+/// attached to outgoing packets so a lost ACK cannot strand the peer;
+/// `generation` makes that idempotency survive the address *coming back*:
+/// the receiver ignores generations it has already processed, so subflows
+/// created after a re-add are not torn down by the stale withdrawal.
 struct RemoveAddrOption {
   IpAddr addr;
+  std::uint32_t generation{0};
 };
 
 /// MP_PRIO: changes the backup priority of the subflow carrying it.

@@ -1,5 +1,6 @@
 #include "netem/access.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -96,9 +97,48 @@ AccessNetwork::AccessNetwork(sim::Simulation& sim, net::Network& network,
   network.set_access(client_addr, up_.get(), down_.get());
 }
 
+void AccessNetwork::set_rate_scale(double factor) {
+  fault_rate_scale_ = std::max(factor, 1e-3);
+  // Install composing rate fns (they stay installed once faults are in use;
+  // with scale back at 1.0 they reduce to the original behaviour).
+  down_->set_rate_fn([this] {
+    const double base = down_rate_ ? down_rate_->rate_bps() : profile_.down_rate_bps;
+    return base * fault_rate_scale_;
+  });
+  up_->set_rate_fn([this] {
+    const double base = up_rate_ ? up_rate_->rate_bps() : profile_.up_rate_bps;
+    return base * fault_rate_scale_;
+  });
+}
+
+void AccessNetwork::set_fault_extra_delay(sim::Duration d) {
+  fault_extra_delay_ = d;
+  down_->set_extra_delay_fn([this] {
+    const sim::Duration arq = arq_down_ ? arq_down_->extra_delay() : sim::Duration{};
+    return arq + fault_extra_delay_;
+  });
+  up_->set_extra_delay_fn([this] {
+    const sim::Duration arq = arq_up_ ? arq_up_->extra_delay() : sim::Duration{};
+    return arq + fault_extra_delay_;
+  });
+}
+
+void AccessNetwork::set_loss_override(const net::GilbertElliottLoss::Params& params) {
+  loss_override_ = params;
+  if (!down_state_) install_loss_models();
+}
+
+void AccessNetwork::clear_loss_override() {
+  loss_override_.reset();
+  if (!down_state_) install_loss_models();
+}
+
 void AccessNetwork::install_loss_models() {
   const std::string base = profile_.name + ".loss";
-  if (profile_.ge_down) {
+  if (loss_override_) {
+    down_->set_loss_model(std::make_unique<net::GilbertElliottLoss>(
+        *loss_override_, sim_.rng(base + ".down.fault")));
+  } else if (profile_.ge_down) {
     down_->set_loss_model(std::make_unique<net::GilbertElliottLoss>(
         *profile_.ge_down, sim_.rng(base + ".down")));
   } else if (profile_.loss_down > 0.0) {

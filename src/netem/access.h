@@ -105,12 +105,33 @@ class AccessNetwork {
   void set_down(bool down);
   [[nodiscard]] bool is_down() const { return down_state_; }
 
+  // --- Fault-injection hooks (netem::FaultInjector) ---
+
+  /// Scales both directions' service rate by `factor` (1.0 = nominal),
+  /// composing with the profile's RateProcess if one is running. Clamped
+  /// below so a scripted "rate 0" degrades to a crawl, not a divide-by-zero.
+  void set_rate_scale(double factor);
+  [[nodiscard]] double rate_scale() const { return fault_rate_scale_; }
+
+  /// Extra one-way delay applied to every packet in both directions, on top
+  /// of any ARQ stall the profile models.
+  void set_fault_extra_delay(sim::Duration d);
+
+  /// Overrides the downlink wire-loss model with a Gilbert-Elliott episode
+  /// until clear_loss_override(). While the link is down the override is
+  /// only recorded; set_down(false) restores into the override.
+  void set_loss_override(const net::GilbertElliottLoss::Params& params);
+  void clear_loss_override();
+
  private:
   void install_loss_models();
 
   sim::Simulation& sim_;
   AccessProfile profile_;
   bool down_state_{false};
+  double fault_rate_scale_{1.0};
+  sim::Duration fault_extra_delay_{};
+  std::optional<net::GilbertElliottLoss::Params> loss_override_;
   std::unique_ptr<net::Link> up_;
   std::unique_ptr<net::Link> down_;
   std::unique_ptr<RateProcess> down_rate_;

@@ -1,0 +1,224 @@
+#include "netem/faults.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace mpr::netem {
+
+namespace {
+
+// Schedule-level link aliases: scenario files may say "cellular" for the
+// name the harness binds as "cell". Takes the string by reference (GCC 12
+// mis-diagnoses the by-value + move form as maybe-uninitialized when
+// inlined).
+void normalize_link(std::string& link) {
+  if (link == "cellular") link = "cell";
+}
+
+}  // namespace
+
+std::string to_string(FaultEvent::Kind k) {
+  switch (k) {
+    case FaultEvent::Kind::kOutage: return "outage";
+    case FaultEvent::Kind::kRestore: return "restore";
+    case FaultEvent::Kind::kRateScale: return "rate";
+    case FaultEvent::Kind::kDelayAdd: return "delay";
+    case FaultEvent::Kind::kBurstLoss: return "burstloss";
+    case FaultEvent::Kind::kLossClear: return "lossclear";
+    case FaultEvent::Kind::kIfaceDown: return "ifdown";
+    case FaultEvent::Kind::kIfaceUp: return "ifup";
+  }
+  return "?";
+}
+
+FaultSchedule& FaultSchedule::add(FaultEvent ev) {
+  normalize_link(ev.link);
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::outage(double at_s, std::string link) {
+  return add({.at = sim::Duration::from_seconds(at_s),
+              .link = std::move(link),
+              .kind = FaultEvent::Kind::kOutage});
+}
+
+FaultSchedule& FaultSchedule::restore(double at_s, std::string link) {
+  return add({.at = sim::Duration::from_seconds(at_s),
+              .link = std::move(link),
+              .kind = FaultEvent::Kind::kRestore});
+}
+
+FaultSchedule& FaultSchedule::rate_scale(double at_s, std::string link, double factor) {
+  return add({.at = sim::Duration::from_seconds(at_s),
+              .link = std::move(link),
+              .kind = FaultEvent::Kind::kRateScale,
+              .a = factor});
+}
+
+FaultSchedule& FaultSchedule::delay_add(double at_s, std::string link, double extra_ms) {
+  return add({.at = sim::Duration::from_seconds(at_s),
+              .link = std::move(link),
+              .kind = FaultEvent::Kind::kDelayAdd,
+              .a = extra_ms});
+}
+
+FaultSchedule& FaultSchedule::burst_loss(double at_s, std::string link,
+                                         net::GilbertElliottLoss::Params params) {
+  return add({.at = sim::Duration::from_seconds(at_s),
+              .link = std::move(link),
+              .kind = FaultEvent::Kind::kBurstLoss,
+              .a = params.p_good_to_bad,
+              .b = params.p_bad_to_good,
+              .c = params.loss_good,
+              .d = params.loss_bad});
+}
+
+FaultSchedule& FaultSchedule::loss_clear(double at_s, std::string link) {
+  return add({.at = sim::Duration::from_seconds(at_s),
+              .link = std::move(link),
+              .kind = FaultEvent::Kind::kLossClear});
+}
+
+FaultSchedule& FaultSchedule::iface_down(double at_s, std::string link) {
+  return add({.at = sim::Duration::from_seconds(at_s),
+              .link = std::move(link),
+              .kind = FaultEvent::Kind::kIfaceDown});
+}
+
+FaultSchedule& FaultSchedule::iface_up(double at_s, std::string link) {
+  return add({.at = sim::Duration::from_seconds(at_s),
+              .link = std::move(link),
+              .kind = FaultEvent::Kind::kIfaceUp});
+}
+
+FaultSchedule FaultSchedule::parse(std::istream& in, std::string* error) {
+  auto fail = [&](int line_no, const std::string& what) {
+    if (error != nullptr) *error = "line " + std::to_string(line_no) + ": " + what;
+    return FaultSchedule{};
+  };
+
+  FaultSchedule out;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) line.erase(hash);
+    std::istringstream tok{line};
+    std::string first;
+    if (!(tok >> first)) continue;  // blank / comment-only line
+    double at_s = 0;
+    std::istringstream num{first};
+    if (!(num >> at_s) || !num.eof()) return fail(line_no, "bad event time '" + first + "'");
+    std::string link, action;
+    if (!(tok >> link >> action)) return fail(line_no, "expected '<time_s> <link> <action>'");
+    if (at_s < 0) return fail(line_no, "negative event time");
+
+    std::vector<double> args;
+    for (double v = 0; tok >> v;) args.push_back(v);
+    if (!tok.eof()) return fail(line_no, "trailing non-numeric argument");
+
+    auto need = [&](std::size_t n) { return args.size() == n; };
+    if (action == "outage" || action == "blackout") {
+      if (!need(0)) return fail(line_no, "outage takes no arguments");
+      out.outage(at_s, link);
+    } else if (action == "restore") {
+      if (!need(0)) return fail(line_no, "restore takes no arguments");
+      out.restore(at_s, link);
+    } else if (action == "rate") {
+      if (!need(1) || args[0] <= 0) return fail(line_no, "rate needs one factor > 0");
+      out.rate_scale(at_s, link, args[0]);
+    } else if (action == "delay") {
+      if (!need(1) || args[0] < 0) return fail(line_no, "delay needs extra ms >= 0");
+      out.delay_add(at_s, link, args[0]);
+    } else if (action == "burstloss") {
+      if (!need(4)) return fail(line_no, "burstloss needs p_g2b p_b2g loss_g loss_b");
+      for (double p : args) {
+        if (p < 0 || p > 1) return fail(line_no, "burstloss parameters must be in [0,1]");
+      }
+      out.burst_loss(at_s, link,
+                     {.p_good_to_bad = args[0],
+                      .p_bad_to_good = args[1],
+                      .loss_good = args[2],
+                      .loss_bad = args[3]});
+    } else if (action == "lossclear") {
+      if (!need(0)) return fail(line_no, "lossclear takes no arguments");
+      out.loss_clear(at_s, link);
+    } else if (action == "ifdown") {
+      if (!need(0)) return fail(line_no, "ifdown takes no arguments");
+      out.iface_down(at_s, link);
+    } else if (action == "ifup") {
+      if (!need(0)) return fail(line_no, "ifup takes no arguments");
+      out.iface_up(at_s, link);
+    } else {
+      return fail(line_no, "unknown action '" + action + "'");
+    }
+  }
+  if (error != nullptr) error->clear();
+  return out;
+}
+
+FaultSchedule FaultSchedule::parse_file(const std::string& path, std::string* error) {
+  std::ifstream in{path};
+  if (!in) {
+    if (error != nullptr) *error = "cannot open '" + path + "'";
+    return FaultSchedule{};
+  }
+  return parse(in, error);
+}
+
+void FaultInjector::bind(std::string name, AccessNetwork* access) {
+  normalize_link(name);
+  links_[std::move(name)] = access;
+}
+
+void FaultInjector::install(const FaultSchedule& schedule) {
+  const sim::TimePoint origin = sim_.now();
+  for (const FaultEvent& ev : schedule.events()) {
+    sim_.at(origin + ev.at, [this, ev] { apply(ev); });
+  }
+}
+
+void FaultInjector::apply(const FaultEvent& ev) {
+  const auto it = links_.find(ev.link);
+  if (it == links_.end() || it->second == nullptr) {
+    ++unmatched_;
+    return;
+  }
+  AccessNetwork& a = *it->second;
+  switch (ev.kind) {
+    case FaultEvent::Kind::kOutage:
+      a.set_down(true);
+      break;
+    case FaultEvent::Kind::kRestore:
+      a.set_down(false);
+      break;
+    case FaultEvent::Kind::kRateScale:
+      a.set_rate_scale(ev.a);
+      break;
+    case FaultEvent::Kind::kDelayAdd:
+      a.set_fault_extra_delay(sim::Duration::from_millis(ev.a));
+      break;
+    case FaultEvent::Kind::kBurstLoss:
+      a.set_loss_override({.p_good_to_bad = ev.a,
+                           .p_bad_to_good = ev.b,
+                           .loss_good = ev.c,
+                           .loss_bad = ev.d});
+      break;
+    case FaultEvent::Kind::kLossClear:
+      a.clear_loss_override();
+      break;
+    case FaultEvent::Kind::kIfaceDown:
+      a.set_down(true);
+      if (on_iface_down) on_iface_down(ev.link);
+      break;
+    case FaultEvent::Kind::kIfaceUp:
+      a.set_down(false);
+      if (on_iface_up) on_iface_up(ev.link);
+      break;
+  }
+  ++applied_;
+}
+
+}  // namespace mpr::netem

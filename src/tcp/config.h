@@ -32,6 +32,15 @@ struct TcpConfig {
   sim::Duration max_rto{sim::Duration::seconds(60)};
   int max_syn_retries{6};
 
+  /// Consecutive RTOs after which the path is considered dead (MPTCP uses
+  /// this both to fail over and to reinject stranded data).
+  std::uint32_t dead_rto_threshold{2};
+  /// Once a path looks dead, stop doubling the RTO past this cap so probes
+  /// keep flowing and recovery after a blackout is prompt (full exponential
+  /// backoff to max_rto can leave the flow idle for a minute after the link
+  /// is back).
+  sim::Duration dead_rto_cap{sim::Duration::seconds(8)};
+
   std::uint32_t dupack_threshold{3};
   bool sack_enabled{true};
 

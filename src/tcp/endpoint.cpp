@@ -627,8 +627,10 @@ void TcpEndpoint::cancel_delack() {
 
 void TcpEndpoint::on_rto_timer() {
   if (state_ == TcpState::kSynSent || state_ == TcpState::kSynReceived) {
+    const bool active_open = state_ == TcpState::kSynSent;
     if (++syn_retries_ > config_.max_syn_retries) {
       state_ = TcpState::kClosed;
+      if (active_open) handle_connect_failed();
       return;
     }
     send_syn(/*with_ack=*/state_ == TcpState::kSynReceived);
@@ -640,6 +642,12 @@ void TcpEndpoint::on_rto_timer() {
 
   ++metrics_.timeouts;
   ++consecutive_timeouts_;
+  // Once the path looks dead, cap the exponential backoff: a blackout should
+  // not push the probe interval to max_rto, or the flow sits idle long after
+  // the link is restored (see TcpConfig::dead_rto_cap).
+  const sim::Duration backoff_cap = consecutive_timeouts_ >= config_.dead_rto_threshold
+                                        ? std::min(config_.dead_rto_cap, config_.max_rto)
+                                        : config_.max_rto;
 
   if (config_.frto_enabled) {
     // F-RTO: retransmit only the head and let the next ACKs decide whether
@@ -655,7 +663,7 @@ void TcpEndpoint::on_rto_timer() {
     const auto head = unacked_.begin();
     frto_rexmit_end_ = head->first + head->second.len;
     retransmit(head->first);
-    rto_ = std::min(rto_ * 2, config_.max_rto);
+    rto_ = std::min(rto_ * 2, backoff_cap);
     arm_rto();
     handle_rto();
     return;
@@ -668,7 +676,7 @@ void TcpEndpoint::on_rto_timer() {
   // the (collapsed) window as ACKs return.
   mark_all_outstanding_lost();
   retransmit(unacked_.begin()->first);
-  rto_ = std::min(rto_ * 2, config_.max_rto);
+  rto_ = std::min(rto_ * 2, backoff_cap);
   arm_rto();
   handle_rto();
 }

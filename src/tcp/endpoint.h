@@ -144,6 +144,9 @@ class TcpEndpoint : public FlowCc {
                            const std::optional<net::DssOption>& dss);
   /// Hook: retransmission timeout fired (MPTCP reinjection trigger).
   virtual void handle_rto() {}
+  /// Hook: active open gave up (SYN retries exhausted, state is kClosed).
+  /// MPTCP uses this to retry lost MP_JOINs with its own backoff.
+  virtual void handle_connect_failed() {}
   /// Hook: receive window to advertise. Default: subflow-local buffer.
   /// MPTCP subflows advertise the connection-level window instead.
   [[nodiscard]] virtual std::uint64_t advertised_window() const;

@@ -105,6 +105,60 @@ TEST(ReorderBuffer, TracksPeakOccupancy) {
   EXPECT_EQ(rb.max_buffered_bytes(), 2000u);
 }
 
+// Regression: a segment straddling rcv_nxt (dsn < rcv_nxt < dsn+len) was
+// neither duplicate-detected nor drainable, so it occupied buffer bytes
+// forever and shrank the advertised window. The overlap must be trimmed and
+// the fresh tail delivered.
+TEST(ReorderBuffer, SegmentStraddlingRcvNxtTrimmedAndDelivered) {
+  ReorderBuffer rb{1 << 20};
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> delivered;
+  rb.on_deliver = [&](std::uint64_t dsn, std::uint32_t len) { delivered.emplace_back(dsn, len); };
+  rb.insert(0, 1000, at_ms(1), 0);
+  // Differently-chunked retransmission: [500, 1500) overlaps delivered data.
+  EXPECT_TRUE(rb.insert(500, 1000, at_ms(2), 1));
+  EXPECT_EQ(rb.rcv_nxt(), 1500u);
+  EXPECT_EQ(rb.delivered_bytes(), 1500u);
+  EXPECT_EQ(rb.buffered_bytes(), 0u) << "overlap segment must not be held forever";
+  EXPECT_EQ(rb.window(), 1u << 20);
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[1], (std::pair<std::uint64_t, std::uint32_t>{1000u, 500u}));
+  EXPECT_EQ(rb.duplicate_packets(), 1u);  // the partially-duplicate arrival
+}
+
+TEST(ReorderBuffer, StraddlingSegmentUnblocksHeldData) {
+  ReorderBuffer rb{1 << 20};
+  rb.insert(0, 1000, at_ms(1), 0);
+  rb.insert(1500, 1000, at_ms(2), 1);  // held: needs [1000, 1500)
+  EXPECT_EQ(rb.buffered_bytes(), 1000u);
+  // The gap arrives inside a segment that also re-covers [500, 1000).
+  EXPECT_TRUE(rb.insert(500, 1000, at_ms(3), 0));
+  EXPECT_EQ(rb.rcv_nxt(), 2500u);
+  EXPECT_EQ(rb.delivered_bytes(), 2500u);
+  EXPECT_EQ(rb.buffered_bytes(), 0u);
+}
+
+TEST(ReorderBuffer, HeldSegmentOverlappedByDeliveryIsTrimmedOnDrain) {
+  ReorderBuffer rb{1 << 20};
+  std::uint64_t delivered = 0;
+  rb.on_deliver = [&](std::uint64_t, std::uint32_t len) { delivered += len; };
+  rb.insert(1000, 1000, at_ms(1), 1);  // held [1000, 2000)
+  // An in-order segment covering [0, 1500) overlaps the held one's head.
+  EXPECT_TRUE(rb.insert(0, 1500, at_ms(2), 0));
+  EXPECT_EQ(rb.rcv_nxt(), 2000u);
+  EXPECT_EQ(delivered, 2000u) << "held tail [1500,2000) must drain, not stall";
+  EXPECT_EQ(rb.buffered_bytes(), 0u);
+}
+
+TEST(ReorderBuffer, HeldSegmentFullyCoveredByDeliveryIsDropped) {
+  ReorderBuffer rb{1 << 20};
+  rb.insert(1000, 500, at_ms(1), 1);  // held [1000, 1500)
+  EXPECT_TRUE(rb.insert(0, 1500, at_ms(2), 0));
+  EXPECT_EQ(rb.rcv_nxt(), 1500u);
+  EXPECT_EQ(rb.delivered_bytes(), 1500u);
+  EXPECT_EQ(rb.buffered_bytes(), 0u);
+  EXPECT_EQ(rb.duplicate_packets(), 1u);
+}
+
 // --------------------------------------------------------------------------
 // Connection-level integration on a deterministic two-path testbed.
 

@@ -15,6 +15,7 @@
 //   --simsyn   simultaneous SYNs
 //   --backup   join cellular in backup mode
 //   --codel    CoDel on the cellular downlink
+//   --scenario fault-schedule file applied to every rep (see netem/faults.h)
 //   --reps     repetitions (default 1)
 //   --jobs     worker threads for the reps (default MPR_JOBS, else all cores)
 //   --json     machine-readable output
@@ -68,7 +69,8 @@ void print_json(const RunResult& r) {
 }
 
 void print_text(const RunResult& r) {
-  std::printf("completed:        %s\n", r.completed ? "yes" : "NO (timeout)");
+  std::printf("completed:        %s\n",
+              r.completed ? "yes" : (r.failed ? "NO (connection failed)" : "NO (timeout)"));
   std::printf("download time:    %.3f s\n", r.download_time_s);
   std::printf("cellular share:   %.1f%%\n", r.cellular_fraction() * 100);
   std::printf("wifi:             %llu bytes, loss %.2f%%\n",
@@ -109,6 +111,15 @@ int main(int argc, char** argv) {
   rc.file_bytes = flags.get_size("size", 4 << 20);
   rc.simultaneous_syns = flags.get_bool("simsyn");
   rc.cellular_backup = flags.get_bool("backup");
+
+  if (const std::string scenario = flags.get("scenario", ""); !scenario.empty()) {
+    std::string error;
+    rc.faults = netem::FaultSchedule::parse_file(scenario, &error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "mpr_run: --scenario %s: %s\n", scenario.c_str(), error.c_str());
+      return 1;
+    }
+  }
 
   const int reps = static_cast<int>(flags.get_int("reps", 1));
   const bool json = flags.get_bool("json");
