@@ -14,11 +14,13 @@
 #include <string>
 #include <vector>
 
+#include "alloc_interposer.h"
 #include "analysis/stats.h"
 #include "experiment/carriers.h"
 #include "experiment/run.h"
 #include "experiment/series.h"
 #include "experiment/table.h"
+#include "net/packet_pool.h"
 #include "sim/event_queue.h"
 #include "sim/thread_pool.h"
 
@@ -61,15 +63,30 @@ namespace detail {
 inline std::chrono::steady_clock::time_point bench_start;
 
 /// Perf trailer printed at exit: wall clock, simulator events executed
-/// (summed over every run's EventQueue) and throughput, so perf PRs have a
+/// (summed over every run's EventQueue) and throughput, plus allocation
+/// telemetry — heap allocations per event (global new interposer) and
+/// packet-pool traffic (misses vs recycles) — so perf PRs have a
 /// trajectory to compare against.
 inline void print_perf_trailer() {
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - bench_start).count();
   const std::uint64_t events = sim::EventQueue::total_executed();
+  const std::uint64_t heap = heap_allocations();
+  const std::uint64_t pool_allocs = net::PacketPool::total_allocs();
+  const std::uint64_t pool_reuses = net::PacketPool::total_reuses();
+  const std::uint64_t acquires = pool_allocs + pool_reuses;
   std::printf("\n[perf] wall=%.2fs events=%llu rate=%.2fM events/s jobs=%u\n", wall_s,
               static_cast<unsigned long long>(events),
               wall_s > 0 ? static_cast<double>(events) / wall_s * 1e-6 : 0.0, jobs());
+  std::printf(
+      "[perf] heap_allocs=%llu (%.3f/event) pool_allocs=%llu pool_reuses=%llu "
+      "(reuse=%.1f%%)\n",
+      static_cast<unsigned long long>(heap),
+      events > 0 ? static_cast<double>(heap) / static_cast<double>(events) : 0.0,
+      static_cast<unsigned long long>(pool_allocs),
+      static_cast<unsigned long long>(pool_reuses),
+      acquires > 0 ? 100.0 * static_cast<double>(pool_reuses) / static_cast<double>(acquires)
+                   : 0.0);
 }
 }  // namespace detail
 

@@ -2,21 +2,33 @@
 
 namespace mpr::analysis {
 
+namespace {
+/// Growth quantum when no reserve_records() hint was given: ~64k records
+/// (a few MB) per step instead of capacity doubling, so a long capture's
+/// peak transient footprint stays close to its final size.
+constexpr std::size_t kGrowthChunk = 64 * 1024;
+}  // namespace
+
 PacketTrace::PacketTrace(net::Network& network) {
-  network.add_observer([this](const net::TraceEvent& ev) {
-    TraceRecord r;
-    r.time = ev.time;
-    r.kind = ev.kind;
-    r.uid = ev.packet.uid;
-    r.flow = ev.packet.flow();
-    r.seq = ev.packet.tcp.seq;
-    r.ack = ev.packet.tcp.ack;
-    r.flags = ev.packet.tcp.flags;
-    r.payload = ev.packet.payload_bytes;
-    r.is_retransmit = ev.packet.is_retransmit;
-    r.dss = ev.packet.tcp.dss;
-    records_.push_back(r);
-  });
+  network.add_observer([this](const net::TraceEvent& ev) { append(ev); });
+}
+
+void PacketTrace::append(const net::TraceEvent& ev) {
+  if (records_.size() == records_.capacity()) {
+    records_.reserve(records_.capacity() + kGrowthChunk);
+  }
+  TraceRecord r;
+  r.time = ev.time;
+  r.kind = ev.kind;
+  r.uid = ev.packet.uid;
+  r.flow = ev.packet.flow();
+  r.seq = ev.packet.tcp.seq;
+  r.ack = ev.packet.tcp.ack;
+  r.flags = ev.packet.tcp.flags;
+  r.payload = ev.packet.payload_bytes;
+  r.is_retransmit = ev.packet.is_retransmit;
+  r.dss = ev.packet.tcp.dss;
+  records_.push_back(r);
 }
 
 }  // namespace mpr::analysis

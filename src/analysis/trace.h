@@ -35,11 +35,20 @@ class PacketTrace {
   /// testbed for the whole run.
   explicit PacketTrace(net::Network& network);
 
+  /// Pre-sizes the record store. Callers that know roughly how many packet
+  /// events a run produces (e.g. from the file size) pass a hint so the
+  /// capture never reallocates mid-run; without one, growth happens in
+  /// fixed chunks rather than doubling, bounding transient over-allocation.
+  void reserve_records(std::size_t expected) { records_.reserve(expected); }
+
   [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
   [[nodiscard]] std::size_t size() const { return records_.size(); }
+  /// Drops the records but keeps the capacity (repeated-run reuse).
   void clear() { records_.clear(); }
 
  private:
+  void append(const net::TraceEvent& ev);
+
   std::vector<TraceRecord> records_;
 };
 

@@ -3,13 +3,13 @@
 namespace mpr::app {
 
 PingResponder::PingResponder(net::Host& host) : host_{host} {
-  host_.listen(kPingPort, [this](net::Packet p) {
-    net::Packet reply;
-    reply.src = p.dst;
-    reply.dst = p.src;
-    reply.tcp.src_port = p.tcp.dst_port;
-    reply.tcp.dst_port = p.tcp.src_port;
-    reply.payload_bytes = p.payload_bytes;
+  host_.listen(kPingPort, [this](net::PacketPtr p) {
+    net::PacketPtr reply = host_.pool().acquire();
+    reply->src = p->dst;
+    reply->dst = p->src;
+    reply->tcp.src_port = p->tcp.dst_port;
+    reply->tcp.dst_port = p->tcp.src_port;
+    reply->payload_bytes = p->payload_bytes;
     host_.send(std::move(reply));
   });
 }
@@ -18,7 +18,7 @@ PingAgent::PingAgent(net::Host& host, net::IpAddr local_addr, net::IpAddr server
     : host_{host},
       local_{local_addr, host.ephemeral_port()},
       remote_{server_addr, kPingPort} {
-  host_.register_flow(net::FlowKey{local_, remote_}, [this](net::Packet) { on_reply(); });
+  host_.register_flow(net::FlowKey{local_, remote_}, [this](net::PacketPtr) { on_reply(); });
 }
 
 PingAgent::~PingAgent() {
@@ -39,12 +39,12 @@ void PingAgent::send_one() {
   }
   --remaining_;
   outstanding_ = 1;
-  net::Packet p;
-  p.src = local_.addr;
-  p.dst = remote_.addr;
-  p.tcp.src_port = local_.port;
-  p.tcp.dst_port = remote_.port;
-  p.payload_bytes = 24;
+  net::PacketPtr p = host_.pool().acquire();
+  p->src = local_.addr;
+  p->dst = remote_.addr;
+  p->tcp.src_port = local_.port;
+  p->tcp.dst_port = remote_.port;
+  p->payload_bytes = 24;
   host_.send(std::move(p));
   timeout_ = host_.sim().after(sim::Duration::seconds(1), [this] {
     timeout_ = sim::kInvalidEventId;

@@ -53,6 +53,10 @@ void collect_mptcp(RunResult& result, core::MptcpConnection& client_conn,
 RunResult run_download(const TestbedConfig& testbed_cfg, const RunConfig& run_cfg) {
   Testbed tb{testbed_cfg};
   sim::Simulation& sim = tb.sim();
+  if (tb.trace() != nullptr) {
+    // ~1 send + 1 deliver per data packet plus ACK traffic and handshakes.
+    tb.trace()->reserve_records(run_cfg.file_bytes / 1400 * 3 + 4096);
+  }
 
   tcp::TcpConfig tcfg;
   tcfg.initial_ssthresh = run_cfg.ssthresh;
@@ -191,6 +195,14 @@ RunResult run_download(const TestbedConfig& testbed_cfg, const RunConfig& run_cf
   }
 
   result.completed = done;
+  result.sim_stats.events_executed = sim.events().executed();
+  if (const net::PacketPool* pool = sim.find_service<net::PacketPool>()) {
+    const net::PacketPool::Stats ps = pool->stats();
+    result.sim_stats.pool_allocated_packets = ps.allocs;
+    result.sim_stats.pool_reused_packets = ps.reuses;
+    result.sim_stats.pool_high_water = ps.high_water;
+    result.sim_stats.pool_bytes = ps.bytes;
+  }
   result.wifi_energy_j = wifi_meter.energy_joules_total();
   result.cellular_energy_j = cell_meter.energy_joules_total();
   result.download_time_s =

@@ -10,6 +10,7 @@
 #include "core/connection.h"
 #include "experiment/testbed.h"
 #include "netem/faults.h"
+#include "sim/stats.h"
 
 namespace mpr::experiment {
 
@@ -79,6 +80,9 @@ struct RunResult {
   /// tail (energy extension, paper §6 future work).
   double wifi_energy_j{0};
   double cellular_energy_j{0};
+  /// Simulator-internal telemetry for this run: events executed and packet
+  /// pool traffic (allocs = heap misses, reuses = recycled packets).
+  sim::SimStats sim_stats;
 
   [[nodiscard]] double cellular_fraction() const {
     const double total =

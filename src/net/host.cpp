@@ -6,10 +6,13 @@
 namespace mpr::net {
 
 Host::Host(sim::Simulation& sim, Network& network, std::vector<IpAddr> addrs)
-    : sim_{sim}, network_{network}, addrs_{std::move(addrs)} {
+    : sim_{sim},
+      network_{network},
+      pool_{sim.service<PacketPool>()},
+      addrs_{std::move(addrs)} {
   assert(!addrs_.empty());
   for (const IpAddr a : addrs_) {
-    network_.attach_host(a, [this](Packet p) { deliver(std::move(p)); });
+    network_.attach_host(a, [this](PacketPtr p) { deliver(std::move(p)); });
   }
 }
 
@@ -27,18 +30,18 @@ void Host::listen(std::uint16_t port, PacketHandler h) {
 
 void Host::stop_listening(std::uint16_t port) { listeners_.erase(port); }
 
-void Host::send(Packet p) {
-  p.uid = network_.next_packet_uid();
+void Host::send(PacketPtr p) {
+  p->uid = network_.next_packet_uid();
   network_.send(std::move(p));
 }
 
-void Host::deliver(Packet p) {
-  const FlowKey key{SocketAddr{p.dst, p.tcp.dst_port}, SocketAddr{p.src, p.tcp.src_port}};
+void Host::deliver(PacketPtr p) {
+  const FlowKey key{SocketAddr{p->dst, p->tcp.dst_port}, SocketAddr{p->src, p->tcp.src_port}};
   if (const auto it = flows_.find(key); it != flows_.end()) {
     it->second(std::move(p));
     return;
   }
-  if (const auto it = listeners_.find(p.tcp.dst_port); it != listeners_.end()) {
+  if (const auto it = listeners_.find(p->tcp.dst_port); it != listeners_.end()) {
     it->second(std::move(p));
     return;
   }

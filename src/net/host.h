@@ -10,12 +10,13 @@
 
 #include "net/network.h"
 #include "net/packet.h"
+#include "net/packet_pool.h"
 
 namespace mpr::net {
 
 class Host {
  public:
-  using PacketHandler = std::function<void(Packet)>;
+  using PacketHandler = std::function<void(PacketPtr)>;
 
   Host(sim::Simulation& sim, Network& network, std::vector<IpAddr> addrs);
 
@@ -25,6 +26,8 @@ class Host {
   [[nodiscard]] const std::vector<IpAddr>& addrs() const { return addrs_; }
   [[nodiscard]] sim::Simulation& sim() { return sim_; }
   [[nodiscard]] Network& network() { return network_; }
+  /// The simulation's shared packet pool; endpoints acquire send buffers here.
+  [[nodiscard]] PacketPool& pool() { return pool_; }
 
   /// Exact-match registration for an established flow. `key` is from the
   /// host's perspective: src = local endpoint, dst = remote endpoint.
@@ -37,10 +40,10 @@ class Host {
   void stop_listening(std::uint16_t port);
 
   /// Stamps a fresh uid and injects the packet into the network.
-  void send(Packet p);
+  void send(PacketPtr p);
 
   /// Delivery entry point (bound into the network by the constructor).
-  void deliver(Packet p);
+  void deliver(PacketPtr p);
 
   /// Allocates an unused local port (ephemeral range).
   [[nodiscard]] std::uint16_t ephemeral_port() { return next_port_++; }
@@ -50,6 +53,7 @@ class Host {
  private:
   sim::Simulation& sim_;
   Network& network_;
+  PacketPool& pool_;
   std::vector<IpAddr> addrs_;
   std::unordered_map<FlowKey, PacketHandler> flows_;
   std::unordered_map<std::uint16_t, PacketHandler> listeners_;

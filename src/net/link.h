@@ -14,6 +14,7 @@
 
 #include "net/loss.h"
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "net/queue.h"
 #include "sim/simulation.h"
 
@@ -39,7 +40,7 @@ class Link {
     sim::Duration busy_time{};
   };
 
-  using DeliverFn = std::function<void(Packet)>;
+  using DeliverFn = std::function<void(PacketPtr)>;
   /// Returns current service rate in bits/s. Consulted at each service start.
   using RateFn = std::function<double()>;
   /// Extra one-way delay added to a packet (ARQ retransmission stalls etc.).
@@ -53,8 +54,8 @@ class Link {
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
 
-  /// Offers a packet to the queue; drops if the queue is full.
-  void send(Packet p);
+  /// Offers a packet to the queue; drops (recycles) if the queue is full.
+  void send(PacketPtr p);
 
   void set_loss_model(std::unique_ptr<LossModel> m) { loss_ = std::move(m); }
   /// Replaces the queue discipline (default: DropTailQueue of
@@ -73,7 +74,7 @@ class Link {
 
  private:
   void maybe_start_service();
-  void finish_service(Packet p);
+  void finish_service(PacketPtr p);
 
   sim::Simulation& sim_;
   Config config_;

@@ -18,13 +18,13 @@ void Network::set_access(IpAddr client_addr, Link* up, Link* down) {
   down->set_drop_observer([this](const Packet& p) { notify_drop(p); });
 }
 
-void Network::send(Packet p) {
-  notify(TraceEvent::Kind::kSend, p);
-  if (const auto it = uplinks_.find(p.src); it != uplinks_.end()) {
+void Network::send(PacketPtr p) {
+  notify(TraceEvent::Kind::kSend, *p);
+  if (const auto it = uplinks_.find(p->src); it != uplinks_.end()) {
     it->second->send(std::move(p));
     return;
   }
-  if (const auto it = downlinks_.find(p.dst); it != downlinks_.end()) {
+  if (const auto it = downlinks_.find(p->dst); it != downlinks_.end()) {
     it->second->send(std::move(p));
     return;
   }
@@ -32,10 +32,10 @@ void Network::send(Packet p) {
   sim_.after(wired_delay_, [this, pkt = std::move(p)]() mutable { deliver_local(std::move(pkt)); });
 }
 
-void Network::deliver_local(Packet p) {
-  const auto it = hosts_.find(p.dst);
+void Network::deliver_local(PacketPtr p) {
+  const auto it = hosts_.find(p->dst);
   if (it == hosts_.end()) return;  // background/phantom traffic sinks here
-  notify(TraceEvent::Kind::kDeliver, p);
+  notify(TraceEvent::Kind::kDeliver, *p);
   it->second(std::move(p));
 }
 

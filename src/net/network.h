@@ -17,21 +17,24 @@
 
 #include "net/link.h"
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "sim/simulation.h"
 
 namespace mpr::net {
 
 /// Passive observer of packet events, used by the trace/analysis layer.
+/// Holds a reference into the live packet — observers must copy out any
+/// fields they keep; the packet is recycled once delivery completes.
 struct TraceEvent {
   enum class Kind { kSend, kDeliver, kDrop };
   Kind kind{Kind::kSend};
   sim::TimePoint time;
-  Packet packet;
+  const Packet& packet;
 };
 
 class Network {
  public:
-  using DeliverFn = std::function<void(Packet)>;
+  using DeliverFn = std::function<void(PacketPtr)>;
   using Observer = std::function<void(const TraceEvent&)>;
 
   explicit Network(sim::Simulation& sim) : sim_{sim} {}
@@ -49,11 +52,11 @@ class Network {
 
   /// Entry point for hosts. Routes via the appropriate access link, or, if
   /// neither side has one, delivers after `wired_delay()`.
-  void send(Packet p);
+  void send(PacketPtr p);
 
   /// Called by links when a packet exits the access network; delivers to the
   /// destination host (and notifies observers). Public so links can bind it.
-  void deliver_local(Packet p);
+  void deliver_local(PacketPtr p);
 
   void add_observer(Observer o) { observers_.push_back(std::move(o)); }
   void notify_drop(const Packet& p);

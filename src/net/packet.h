@@ -5,17 +5,23 @@
 // count only; sequence numbers are 64-bit so wraparound never occurs (the
 // real protocol's 32-bit wrap handling is out of scope and orthogonal to the
 // paper's measurements).
+//
+// Packets are plain structs with fully inline storage (the SACK list is a
+// fixed-capacity InlineVec), so recycling one through the per-simulation
+// PacketPool (packet_pool.h) costs a field reset and no heap traffic.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <vector>
 
 #include "net/addr.h"
+#include "sim/inline_vec.h"
 #include "sim/time.h"
 
 namespace mpr::net {
+
+class PacketPool;
 
 /// TCP header flags (bitmask).
 enum TcpFlags : std::uint8_t {
@@ -80,6 +86,12 @@ struct DssOption {
   bool data_fin{false};
 };
 
+/// Real TCP option space caps SACK at 3-4 blocks (40 bytes of options, 8 per
+/// block); the extra slot leaves room for a DSACK block ahead of 3 merged
+/// out-of-order runs.
+inline constexpr std::size_t kMaxSackBlocks = 4;
+using SackList = sim::InlineVec<SackBlock, kMaxSackBlocks>;
+
 /// TCP segment header (+ options). Sequence/ack numbers count bytes from 0
 /// for each subflow direction.
 struct TcpSegment {
@@ -89,7 +101,7 @@ struct TcpSegment {
   std::uint64_t ack{0};
   std::uint8_t flags{0};
   std::uint64_t wnd{0};  // advertised receive window in bytes
-  std::vector<SackBlock> sack;
+  SackList sack;
   std::optional<MpCapableOption> mp_capable;
   std::optional<MpJoinOption> mp_join;
   std::optional<AddAddrOption> add_addr;
@@ -100,7 +112,9 @@ struct TcpSegment {
   [[nodiscard]] bool has(TcpFlags f) const { return (flags & f) != 0; }
 };
 
-/// A packet in flight. Value type; moved through links and queues.
+/// A packet in flight. On the simulation hot path packets are pool-owned
+/// and travel as PacketPtr handles (packet_pool.h); stack-constructed
+/// Packets remain fine for tests and field-level inspection.
 struct Packet {
   std::uint64_t uid{0};  // globally unique, assigned by the sending endpoint
   IpAddr src;
@@ -110,6 +124,23 @@ struct Packet {
   bool is_retransmit{false};       // sender-side metadata for tracing
   sim::TimePoint first_sent_time;  // stamped by the sending endpoint
   sim::TimePoint enqueue_time;     // stamped by the queue (CoDel sojourn time)
+  /// Owning pool when pool-managed (set once by PacketPool, never reset):
+  /// lets the 8-byte PacketPtr handle recycle without carrying a pool
+  /// pointer of its own.
+  PacketPool* origin_pool{nullptr};
+
+  /// Returns every protocol field to its default (pool reuse). The pool
+  /// backref survives; all storage is inline, so this never frees memory.
+  void reset_fields() {
+    uid = 0;
+    src = IpAddr{};
+    dst = IpAddr{};
+    tcp = TcpSegment{};
+    payload_bytes = 0;
+    is_retransmit = false;
+    first_sent_time = sim::TimePoint{};
+    enqueue_time = sim::TimePoint{};
+  }
 
   /// Approximate wire size: payload + IPv4/TCP headers + options.
   [[nodiscard]] std::uint32_t wire_bytes() const {

@@ -1,0 +1,8 @@
+#include "net/packet_pool.h"
+
+namespace mpr::net {
+
+std::atomic<std::uint64_t> PacketPool::total_allocs_{0};
+std::atomic<std::uint64_t> PacketPool::total_reuses_{0};
+
+}  // namespace mpr::net

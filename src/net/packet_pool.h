@@ -1,0 +1,159 @@
+// Per-simulation packet pool and owning packet handle.
+//
+// Every packet hop used to copy a ~200-byte Packet (plus a heap-backed SACK
+// vector) by value through queues and std::function captures. With the pool,
+// a packet is heap-allocated exactly once — when the population grows past
+// its previous high-water mark — and afterwards recycled: the sender
+// acquires a recycled Packet, every layer moves the 8-byte PacketPtr handle,
+// and the sink's handle destructor returns the object to the freelist.
+//
+// Ownership: one pool per Simulation, obtained with
+// `sim.service<net::PacketPool>()`. The service registry destroys the pool
+// after the event queue, so actions still holding packet handles at teardown
+// release safely. The parallel campaign runner gives each run its own
+// Simulation, hence its own pool — nothing here is (or needs to be)
+// thread-safe, and recycling order is fully deterministic.
+//
+// Telemetry: the pool counts allocations (misses), freelist reuses and the
+// high-water mark; a campaign exports them per run through sim::SimStats and
+// process-wide through the static totals the bench [perf] trailer prints.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace mpr::net {
+
+class PacketPool;
+
+/// Move-only owning handle to a pooled Packet. 8 bytes, so closures that
+/// carry a packet through the event queue stay within the inline-action
+/// budget. Destruction (or reset) recycles the packet into its pool.
+class PacketPtr {
+ public:
+  PacketPtr() = default;
+  PacketPtr(PacketPtr&& other) noexcept : p_{std::exchange(other.p_, nullptr)} {}
+  PacketPtr& operator=(PacketPtr&& other) noexcept {
+    if (this != &other) {
+      reset();
+      p_ = std::exchange(other.p_, nullptr);
+    }
+    return *this;
+  }
+  PacketPtr(const PacketPtr&) = delete;
+  PacketPtr& operator=(const PacketPtr&) = delete;
+  ~PacketPtr() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const { return p_ != nullptr; }
+  [[nodiscard]] Packet& operator*() const {
+    assert(p_ != nullptr);
+    return *p_;
+  }
+  [[nodiscard]] Packet* operator->() const {
+    assert(p_ != nullptr);
+    return p_;
+  }
+  [[nodiscard]] Packet* get() const { return p_; }
+
+  /// Recycles the packet now (no-op on an empty handle).
+  inline void reset();
+
+ private:
+  friend class PacketPool;
+  explicit PacketPtr(Packet* p) : p_{p} {}
+
+  Packet* p_{nullptr};
+};
+
+class PacketPool {
+ public:
+  struct Stats {
+    /// Heap allocations (pool misses): acquires that found the freelist
+    /// empty and grew the population.
+    std::uint64_t allocs{0};
+    /// Acquires served from the freelist without heap traffic.
+    std::uint64_t reuses{0};
+    /// Maximum packets simultaneously outstanding. Equal to `allocs` by
+    /// construction (the pool only grows on demand) — exported separately so
+    /// telemetry reads as capacity, not churn.
+    std::uint64_t high_water{0};
+    /// Packets currently held by live PacketPtr handles.
+    std::uint64_t outstanding{0};
+    /// Resident bytes of pooled Packet storage.
+    std::uint64_t bytes{0};
+  };
+
+  PacketPool() = default;
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+  ~PacketPool() {
+    total_allocs_.fetch_add(stats_allocs_, std::memory_order_relaxed);
+    total_reuses_.fetch_add(stats_reuses_, std::memory_order_relaxed);
+  }
+
+  /// A fresh (field-reset) packet, recycled when possible.
+  [[nodiscard]] PacketPtr acquire() {
+    Packet* p;
+    if (!free_.empty()) {
+      p = free_.back();
+      free_.pop_back();
+      p->reset_fields();
+      ++stats_reuses_;
+    } else {
+      storage_.push_back(std::make_unique<Packet>());
+      p = storage_.back().get();
+      p->origin_pool = this;
+      ++stats_allocs_;
+      const std::uint64_t outstanding = storage_.size() - free_.size();
+      if (outstanding > high_water_) high_water_ = outstanding;
+    }
+    return PacketPtr{p};
+  }
+
+  /// Returns `p` to the freelist. Called by PacketPtr; `p` must have been
+  /// acquired from this pool and not already released.
+  void release(Packet* p) {
+    assert(p != nullptr && p->origin_pool == this);
+    free_.push_back(p);
+  }
+
+  [[nodiscard]] Stats stats() const {
+    return Stats{stats_allocs_, stats_reuses_, high_water_, storage_.size() - free_.size(),
+                 storage_.size() * sizeof(Packet)};
+  }
+
+  /// Process-wide totals over every pool already destroyed plus none of the
+  /// live ones — mirrors EventQueue::total_executed() for the bench trailer
+  /// (each campaign run tears its pool down with its Simulation).
+  [[nodiscard]] static std::uint64_t total_allocs() {
+    return total_allocs_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] static std::uint64_t total_reuses() {
+    return total_reuses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<std::unique_ptr<Packet>> storage_;  // stable addresses
+  std::vector<Packet*> free_;
+  std::uint64_t stats_allocs_{0};
+  std::uint64_t stats_reuses_{0};
+  std::uint64_t high_water_{0};
+
+  static std::atomic<std::uint64_t> total_allocs_;
+  static std::atomic<std::uint64_t> total_reuses_;
+};
+
+inline void PacketPtr::reset() {
+  if (p_ != nullptr) {
+    p_->origin_pool->release(p_);
+    p_ = nullptr;
+  }
+}
+
+}  // namespace mpr::net

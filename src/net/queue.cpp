@@ -1,40 +1,42 @@
 #include "net/queue.h"
 
+#include <utility>
+
 namespace mpr::net {
 
 // ---------------------------------------------------------------------------
 // DropTailQueue.
 
-bool DropTailQueue::enqueue(Packet p, sim::TimePoint now) {
-  const std::uint64_t wire = p.wire_bytes();
+bool DropTailQueue::enqueue(PacketPtr p, sim::TimePoint now) {
+  const std::uint64_t wire = p->wire_bytes();
   if (bytes_ + wire > capacity_ && !queue_.empty()) {
-    report_drop(p);
+    report_drop(*p);  // handle destructs at return: packet recycled
     return false;
   }
-  p.enqueue_time = now;
+  p->enqueue_time = now;
   bytes_ += wire;
   queue_.push_back(std::move(p));
   return true;
 }
 
-std::optional<Packet> DropTailQueue::dequeue(sim::TimePoint /*now*/) {
-  if (queue_.empty()) return std::nullopt;
-  Packet p = std::move(queue_.front());
+PacketPtr DropTailQueue::dequeue(sim::TimePoint /*now*/) {
+  if (queue_.empty()) return PacketPtr{};
+  PacketPtr p = std::move(queue_.front());
   queue_.pop_front();
-  bytes_ -= p.wire_bytes();
+  bytes_ -= p->wire_bytes();
   return p;
 }
 
 // ---------------------------------------------------------------------------
 // CodelQueue.
 
-bool CodelQueue::enqueue(Packet p, sim::TimePoint now) {
-  const std::uint64_t wire = p.wire_bytes();
+bool CodelQueue::enqueue(PacketPtr p, sim::TimePoint now) {
+  const std::uint64_t wire = p->wire_bytes();
   if (bytes_ + wire > params_.capacity_bytes && !queue_.empty()) {
-    report_drop(p);
+    report_drop(*p);
     return false;
   }
-  p.enqueue_time = now;
+  p->enqueue_time = now;
   bytes_ += wire;
   queue_.push_back(std::move(p));
   return true;
@@ -46,11 +48,11 @@ CodelQueue::Front CodelQueue::do_dequeue(sim::TimePoint now) {
     has_first_above_ = false;
     return f;
   }
-  Packet p = std::move(queue_.front());
+  PacketPtr p = std::move(queue_.front());
   queue_.pop_front();
-  bytes_ -= p.wire_bytes();
+  bytes_ -= p->wire_bytes();
 
-  const sim::Duration sojourn = now - p.enqueue_time;
+  const sim::Duration sojourn = now - p->enqueue_time;
   if (sojourn < params_.target || bytes_ <= params_.mtu_bytes) {
     // Out of the "standing queue" regime.
     has_first_above_ = false;
@@ -64,11 +66,11 @@ CodelQueue::Front CodelQueue::do_dequeue(sim::TimePoint now) {
   return f;
 }
 
-std::optional<Packet> CodelQueue::dequeue(sim::TimePoint now) {
+PacketPtr CodelQueue::dequeue(sim::TimePoint now) {
   Front f = do_dequeue(now);
   if (!f.packet) {
     dropping_ = false;
-    return std::nullopt;
+    return PacketPtr{};
   }
 
   if (dropping_) {
@@ -79,10 +81,10 @@ std::optional<Packet> CodelQueue::dequeue(sim::TimePoint now) {
         report_drop(*f.packet);
         ++codel_drops_;
         ++count_;
-        f = do_dequeue(now);
+        f = do_dequeue(now);  // previous front recycled by the assignment
         if (!f.packet) {
           dropping_ = false;
-          return std::nullopt;
+          return PacketPtr{};
         }
         if (!f.ok_to_drop) {
           dropping_ = false;
@@ -104,7 +106,7 @@ std::optional<Packet> CodelQueue::dequeue(sim::TimePoint now) {
       count_ = 1;
     }
     drop_next_ = control_law(now);
-    if (!f.packet) return std::nullopt;
+    if (!f.packet) return PacketPtr{};
   }
   return std::move(f.packet);
 }

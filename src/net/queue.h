@@ -5,6 +5,10 @@
 // CoDel AQM (Nichols & Jacobson; RFC 8289) as the counterfactual: what the
 // same radio links would look like with modern queue management — used by
 // the extension bench.
+//
+// Queues hold owning PacketPtr handles: admitting, dequeuing and AQM-dropping
+// a packet moves an 8-byte handle, never a Packet. A drop simply lets the
+// handle destruct, recycling the packet into the simulation's pool.
 #pragma once
 
 #include <cmath>
@@ -12,9 +16,9 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <optional>
 
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "sim/time.h"
 
 namespace mpr::net {
@@ -23,14 +27,15 @@ class QueueDiscipline {
  public:
   virtual ~QueueDiscipline() = default;
 
-  /// Offers a packet. Returns false if dropped at enqueue (queue full);
-  /// the drop hook fires for every dropped packet, at enqueue or inside
-  /// dequeue (AQM).
-  virtual bool enqueue(Packet p, sim::TimePoint now) = 0;
+  /// Offers a packet. Returns false if dropped at enqueue (queue full) —
+  /// the rejected packet is recycled; the drop hook fires for every dropped
+  /// packet, at enqueue or inside dequeue (AQM).
+  virtual bool enqueue(PacketPtr p, sim::TimePoint now) = 0;
 
-  /// Next packet to transmit, or nullopt when empty. AQM disciplines may
-  /// drop packets internally here; those are reported via the drop hook.
-  virtual std::optional<Packet> dequeue(sim::TimePoint now) = 0;
+  /// Next packet to transmit, or an empty handle when the queue is empty.
+  /// AQM disciplines may drop packets internally here; those are reported
+  /// via the drop hook.
+  virtual PacketPtr dequeue(sim::TimePoint now) = 0;
 
   [[nodiscard]] virtual std::uint64_t bytes() const = 0;
   [[nodiscard]] virtual std::size_t packets() const = 0;
@@ -52,15 +57,15 @@ class DropTailQueue final : public QueueDiscipline {
  public:
   explicit DropTailQueue(std::uint64_t capacity_bytes) : capacity_{capacity_bytes} {}
 
-  bool enqueue(Packet p, sim::TimePoint now) override;
-  std::optional<Packet> dequeue(sim::TimePoint now) override;
+  bool enqueue(PacketPtr p, sim::TimePoint now) override;
+  PacketPtr dequeue(sim::TimePoint now) override;
   [[nodiscard]] std::uint64_t bytes() const override { return bytes_; }
   [[nodiscard]] std::size_t packets() const override { return queue_.size(); }
 
  private:
   std::uint64_t capacity_;
   std::uint64_t bytes_{0};
-  std::deque<Packet> queue_;
+  std::deque<PacketPtr> queue_;
 };
 
 /// CoDel (RFC 8289): drops at dequeue when the standing (sojourn) delay has
@@ -77,15 +82,15 @@ class CodelQueue final : public QueueDiscipline {
 
   explicit CodelQueue(Params params) : params_{params} {}
 
-  bool enqueue(Packet p, sim::TimePoint now) override;
-  std::optional<Packet> dequeue(sim::TimePoint now) override;
+  bool enqueue(PacketPtr p, sim::TimePoint now) override;
+  PacketPtr dequeue(sim::TimePoint now) override;
   [[nodiscard]] std::uint64_t bytes() const override { return bytes_; }
   [[nodiscard]] std::size_t packets() const override { return queue_.size(); }
   [[nodiscard]] std::uint64_t codel_drops() const { return codel_drops_; }
 
  private:
   struct Front {
-    std::optional<Packet> packet;
+    PacketPtr packet;  // empty handle <=> queue was empty
     bool ok_to_drop{false};
   };
   Front do_dequeue(sim::TimePoint now);
@@ -95,7 +100,7 @@ class CodelQueue final : public QueueDiscipline {
 
   Params params_;
   std::uint64_t bytes_{0};
-  std::deque<Packet> queue_;
+  std::deque<PacketPtr> queue_;
 
   sim::TimePoint first_above_time_{};
   bool has_first_above_{false};

@@ -33,7 +33,7 @@ AccessNetwork::AccessNetwork(sim::Simulation& sim, net::Network& network,
       .queue_capacity_bytes = profile.queue_down_bytes,
   };
 
-  auto deliver = [&network](net::Packet p) { network.deliver_local(std::move(p)); };
+  auto deliver = [&network](net::PacketPtr p) { network.deliver_local(std::move(p)); };
   up_ = std::make_unique<net::Link>(sim, up_cfg, deliver);
   down_ = std::make_unique<net::Link>(sim, down_cfg, deliver);
 

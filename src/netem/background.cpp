@@ -34,10 +34,10 @@ void BackgroundTraffic::schedule_next() {
   sim_.after(sim::Duration::from_seconds(gap_s), [this] {
     if (stopped_) return;
     if (on_ && sim_.now() < phase_end_) {
-      net::Packet p;
-      p.src = config_.phantom_src;
-      p.dst = config_.phantom_dst;
-      p.payload_bytes = config_.packet_bytes - 40;
+      net::PacketPtr p = sim_.service<net::PacketPool>().acquire();
+      p->src = config_.phantom_src;
+      p->dst = config_.phantom_dst;
+      p->payload_bytes = config_.packet_bytes - 40;
       ++injected_;
       link_.send(std::move(p));
     }

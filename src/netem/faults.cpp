@@ -175,8 +175,14 @@ void FaultInjector::bind(std::string name, AccessNetwork* access) {
 
 void FaultInjector::install(const FaultSchedule& schedule) {
   const sim::TimePoint origin = sim_.now();
+  // Events are kept in a member vector and captured by index: the closure
+  // stays pointer-sized, and the vector never shrinks, so indices stay valid
+  // even if install() is called more than once.
+  installed_.reserve(installed_.size() + schedule.size());
   for (const FaultEvent& ev : schedule.events()) {
-    sim_.at(origin + ev.at, [this, ev] { apply(ev); });
+    const std::size_t i = installed_.size();
+    installed_.push_back(ev);
+    sim_.at(origin + ev.at, [this, i] { apply(installed_[i]); });
   }
 }
 

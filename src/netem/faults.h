@@ -129,6 +129,9 @@ class FaultInjector {
 
   sim::Simulation& sim_;
   std::unordered_map<std::string, AccessNetwork*> links_;
+  /// Installed events, referenced by index from the scheduled actions — a
+  /// FaultEvent is too large for the event queue's inline action storage.
+  std::vector<FaultEvent> installed_;
   std::uint64_t applied_{0};
   std::uint64_t unmatched_{0};
 };

@@ -14,9 +14,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "sim/inline_function.h"
 #include "sim/time.h"
 
 namespace mpr::sim {
@@ -26,9 +26,16 @@ namespace mpr::sim {
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
+/// Inline capacity of an event action. Every closure scheduled anywhere in
+/// the simulator must fit (checked at compile time): the packet hot path
+/// schedules one action per link hop, and a heap-backed std::function here
+/// cost an allocation per hop. 64 bytes = 8 pointers, comfortably above the
+/// largest real capture (this + a pooled packet handle + a couple of words).
+inline constexpr std::size_t kEventActionCapacity = 64;
+
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  using Action = InlineFunction<void(), kEventActionCapacity>;
 
   EventQueue();
   ~EventQueue();

@@ -1,0 +1,37 @@
+// Per-run resource telemetry.
+//
+// A SimStats snapshot travels with every RunResult so campaign code (and the
+// perf regression tests) can assert on the simulator's allocation behaviour,
+// not just its outputs: how many events ran, how many Packet objects were
+// heap-allocated vs recycled from the run's PacketPool, and the pool's
+// resident footprint. The packet hot path is considered allocation-free when
+// pool_allocated_packets stops growing once a run reaches steady state.
+#pragma once
+
+#include <cstdint>
+
+namespace mpr::sim {
+
+struct SimStats {
+  /// Events executed by the run's EventQueue.
+  std::uint64_t events_executed{0};
+  /// Packet objects heap-allocated by the run's PacketPool (pool misses —
+  /// each one grew the pool's population).
+  std::uint64_t pool_allocated_packets{0};
+  /// Pool acquisitions served from the freelist (no heap traffic).
+  std::uint64_t pool_reused_packets{0};
+  /// Maximum packets simultaneously in flight/queued (pool high-water mark;
+  /// equals pool_allocated_packets, since the pool only grows on demand).
+  std::uint64_t pool_high_water{0};
+  /// Resident bytes held by the pool's packet storage.
+  std::uint64_t pool_bytes{0};
+
+  /// Fraction of packet acquisitions served without heap allocation.
+  [[nodiscard]] double pool_reuse_rate() const {
+    const std::uint64_t total = pool_allocated_packets + pool_reused_packets;
+    return total == 0 ? 0.0
+                      : static_cast<double>(pool_reused_packets) / static_cast<double>(total);
+  }
+};
+
+}  // namespace mpr::sim

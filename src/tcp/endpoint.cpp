@@ -36,7 +36,7 @@ TcpEndpoint::TcpEndpoint(net::Host& host, net::SocketAddr local, net::SocketAddr
   }
   quickack_left_ = config_.quickack_segments;
   host_.register_flow(net::FlowKey{local_, remote_},
-                      [this](net::Packet p) { on_packet(std::move(p)); });
+                      [this](net::PacketPtr p) { on_packet(std::move(p)); });
 }
 
 TcpEndpoint::~TcpEndpoint() {
@@ -145,9 +145,10 @@ std::optional<TcpEndpoint::Chunk> TcpEndpoint::next_chunk(std::uint32_t max_len)
   return chunk;
 }
 
-net::Packet TcpEndpoint::make_packet(std::uint8_t flags, std::uint64_t seq,
-                                     std::uint32_t payload) {
-  net::Packet p;
+net::PacketPtr TcpEndpoint::make_packet(std::uint8_t flags, std::uint64_t seq,
+                                        std::uint32_t payload) {
+  net::PacketPtr pkt = host_.pool().acquire();
+  net::Packet& p = *pkt;
   p.src = local_.addr;
   p.dst = remote_.addr;
   p.tcp.src_port = local_.port;
@@ -159,15 +160,15 @@ net::Packet TcpEndpoint::make_packet(std::uint8_t flags, std::uint64_t seq,
   p.payload_bytes = payload;
   p.first_sent_time = sim().now();
   if (config_.sack_enabled && (!ooo_.empty() || pending_dsack_)) fill_sack_blocks(p);
-  return p;
+  return pkt;
 }
 
 void TcpEndpoint::send_syn(bool with_ack) {
   const std::uint8_t flags =
       with_ack ? (net::kFlagSyn | net::kFlagAck) : net::kFlagSyn;
-  net::Packet p = make_packet(flags, 0, 0);
+  net::PacketPtr p = make_packet(flags, 0, 0);
   syn_sent_time_ = sim().now();
-  decorate_outgoing(p);
+  decorate_outgoing(*p);
   host_.send(std::move(p));
 }
 
@@ -181,12 +182,12 @@ void TcpEndpoint::send_segment_new(Chunk chunk) {
   unacked_.emplace(seq, seg);
   snd_nxt_ += chunk.len;
 
-  net::Packet p = make_packet(net::kFlagAck, seq, chunk.len);
+  net::PacketPtr p = make_packet(net::kFlagAck, seq, chunk.len);
   if (chunk.dsn) {
-    p.tcp.dss = net::DssOption{.dsn = *chunk.dsn, .length = chunk.len,
-                               .data_fin = chunk.data_fin};
+    p->tcp.dss = net::DssOption{.dsn = *chunk.dsn, .length = chunk.len,
+                                .data_fin = chunk.data_fin};
   }
-  decorate_outgoing(p);
+  decorate_outgoing(*p);
   ++metrics_.data_packets_sent;
   metrics_.bytes_sent += chunk.len;
   segs_since_ack_ = 0;  // data carries a piggybacked ACK
@@ -214,12 +215,12 @@ void TcpEndpoint::retransmit(std::uint64_t seq) {
     flags |= net::kFlagFin;
     payload = 0;
   }
-  net::Packet p = make_packet(flags, seq, payload);
+  net::PacketPtr p = make_packet(flags, seq, payload);
   if (seg.dsn) {
-    p.tcp.dss = net::DssOption{.dsn = *seg.dsn, .length = payload, .data_fin = seg.data_fin};
+    p->tcp.dss = net::DssOption{.dsn = *seg.dsn, .length = payload, .data_fin = seg.data_fin};
   }
-  p.is_retransmit = true;
-  decorate_outgoing(p);
+  p->is_retransmit = true;
+  decorate_outgoing(*p);
   if (!seg.fin) {
     ++metrics_.rexmit_packets;
     ++metrics_.data_packets_sent;
@@ -241,8 +242,8 @@ void TcpEndpoint::maybe_send_fin() {
   snd_nxt_ += 1;
   fin_sent_ = true;
 
-  net::Packet p = make_packet(net::kFlagFin | net::kFlagAck, seq, 0);
-  decorate_outgoing(p);
+  net::PacketPtr p = make_packet(net::kFlagFin | net::kFlagAck, seq, 0);
+  decorate_outgoing(*p);
   host_.send(std::move(p));
   if (rto_timer_ == sim::kInvalidEventId) arm_rto();
   state_ = (state_ == TcpState::kCloseWait) ? TcpState::kLastAck : TcpState::kFinWait;
@@ -251,23 +252,23 @@ void TcpEndpoint::maybe_send_fin() {
 // --------------------------------------------------------------------------
 // Packet reception.
 
-void TcpEndpoint::on_packet(net::Packet p) {
+void TcpEndpoint::on_packet(net::PacketPtr p) {
   switch (state_) {
     case TcpState::kClosed:
     case TcpState::kDone:
       return;
     case TcpState::kSynSent:
-      handle_syn_sent(p);
+      handle_syn_sent(*p);
       return;
     case TcpState::kSynReceived:
-      handle_syn_received(p);
+      handle_syn_received(*p);
       return;
     default:
       break;
   }
-  process_options(p);
-  process_ack_side(p);
-  process_data_side(p);
+  process_options(*p);
+  process_ack_side(*p);
+  process_data_side(*p);
 }
 
 void TcpEndpoint::handle_syn_sent(const net::Packet& p) {
@@ -398,7 +399,7 @@ void TcpEndpoint::process_ack_side(const net::Packet& p) {
   }
 }
 
-void TcpEndpoint::process_sack(const std::vector<net::SackBlock>& blocks) {
+void TcpEndpoint::process_sack(const net::SackList& blocks) {
   for (const net::SackBlock& b : blocks) {
     for (auto it = unacked_.lower_bound(b.begin); it != unacked_.end() && it->first < b.end;
          ++it) {
@@ -547,8 +548,8 @@ void TcpEndpoint::send_ack_now() {
   if (quickack_left_ > 0) --quickack_left_;
   segs_since_ack_ = 0;
   cancel_delack();
-  net::Packet p = make_packet(net::kFlagAck, snd_nxt_, 0);
-  decorate_outgoing(p);
+  net::PacketPtr p = make_packet(net::kFlagAck, snd_nxt_, 0);
+  decorate_outgoing(*p);
   host_.send(std::move(p));
 }
 

@@ -172,12 +172,12 @@ class TcpEndpoint : public FlowCc {
   };
 
   // Packet handling.
-  void on_packet(net::Packet p);
+  void on_packet(net::PacketPtr p);
   void handle_syn_sent(const net::Packet& p);
   void handle_syn_received(const net::Packet& p);
   void process_ack_side(const net::Packet& p);
   void process_data_side(const net::Packet& p);
-  void process_sack(const std::vector<net::SackBlock>& blocks);
+  void process_sack(const net::SackList& blocks);
   void update_loss_marks();
   void enter_recovery(bool loss_state);
   void on_rto_timer();
@@ -190,7 +190,8 @@ class TcpEndpoint : public FlowCc {
   void send_segment_new(Chunk chunk);
   void retransmit(std::uint64_t seq);
   void maybe_send_fin();
-  net::Packet make_packet(std::uint8_t flags, std::uint64_t seq, std::uint32_t payload);
+  /// Pooled outgoing packet with the common header fields filled in.
+  net::PacketPtr make_packet(std::uint8_t flags, std::uint64_t seq, std::uint32_t payload);
   [[nodiscard]] std::uint64_t send_window() const;
 
   // ACK generation (receiver side).

@@ -8,8 +8,8 @@ namespace mpr::tcp {
 TcpListener::TcpListener(net::Host& host, std::uint16_t port, SynHandler handler)
     : host_{host}, port_{port} {
   assert(handler);
-  host_.listen(port, [h = std::move(handler)](net::Packet p) {
-    if (p.tcp.has(net::kFlagSyn) && !p.tcp.has(net::kFlagAck)) h(p);
+  host_.listen(port, [h = std::move(handler)](net::PacketPtr p) {
+    if (p->tcp.has(net::kFlagSyn) && !p->tcp.has(net::kFlagAck)) h(*p);
     // Non-SYN packets to no known flow are dropped (counted by the host).
   });
 }

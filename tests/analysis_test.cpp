@@ -95,7 +95,7 @@ struct TraceRig {
         trace{network},
         server{sim, network, {net::IpAddr{10}}},
         client{sim, network, {net::IpAddr{1}}} {
-    auto deliver = [this](net::Packet p) { network.deliver_local(std::move(p)); };
+    auto deliver = [this](net::PacketPtr p) { network.deliver_local(std::move(p)); };
     up = std::make_unique<net::Link>(
         sim,
         net::Link::Config{.name = "up", .rate_bps = 10e6,

@@ -34,7 +34,7 @@ Outcome run_with_spike(bool frto, sim::Duration spike, std::uint64_t bytes,
   net::Network network{sim};
   net::Host server{sim, network, {kServerAddr}};
   net::Host client{sim, network, {kClientAddr}};
-  auto deliver = [&network](net::Packet p) { network.deliver_local(std::move(p)); };
+  auto deliver = [&network](net::PacketPtr p) { network.deliver_local(std::move(p)); };
   net::Link up{sim,
                {.name = "up", .rate_bps = 10e6, .prop_delay = sim::Duration::millis(30),
                 .queue_capacity_bytes = 1 << 20},

@@ -396,13 +396,13 @@ TEST(MptcpConnection, SubflowsCloseAfterDataFinAcked) {
 
 TEST(MptcpServer, RejectsJoinWithUnknownToken) {
   MptcpRig rig{MptcpConfig{}, 64 << 10};
-  net::Packet rogue;
-  rogue.src = kClientCellAddr;
-  rogue.dst = kServerAddr1;
-  rogue.tcp.src_port = 55555;
-  rogue.tcp.dst_port = kHttpPort;
-  rogue.tcp.flags = net::kFlagSyn;
-  rogue.tcp.mp_join = net::MpJoinOption{999999, 1};
+  net::PacketPtr rogue = rig.tb.client().pool().acquire();
+  rogue->src = kClientCellAddr;
+  rogue->dst = kServerAddr1;
+  rogue->tcp.src_port = 55555;
+  rogue->tcp.dst_port = kHttpPort;
+  rogue->tcp.flags = net::kFlagSyn;
+  rogue->tcp.mp_join = net::MpJoinOption{999999, 1};
   rig.tb.client().send(std::move(rogue));
   rig.tb.sim().run_for(sim::Duration::seconds(1));
   EXPECT_EQ(rig.server->server().rejected_joins(), 1u);

@@ -9,6 +9,7 @@
 #include "net/loss.h"
 #include "net/network.h"
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "sim/simulation.h"
 
 namespace mpr::net {
@@ -21,6 +22,18 @@ Packet make_data_packet(IpAddr src, IpAddr dst, std::uint32_t payload) {
   p.tcp.src_port = 1000;
   p.tcp.dst_port = 2000;
   p.payload_bytes = payload;
+  return p;
+}
+
+/// Pooled variant for the ownership (send) paths.
+PacketPtr pooled_data_packet(sim::Simulation& sim, IpAddr src, IpAddr dst,
+                             std::uint32_t payload) {
+  PacketPtr p = sim.service<PacketPool>().acquire();
+  p->src = src;
+  p->dst = dst;
+  p->tcp.src_port = 1000;
+  p->tcp.dst_port = 2000;
+  p->payload_bytes = payload;
   return p;
 }
 
@@ -123,10 +136,14 @@ class LinkTest : public ::testing::Test {
   std::vector<sim::TimePoint> times;
 
   Link make_link(Link::Config cfg) {
-    return Link{sim, cfg, [this](Packet p) {
-                  delivered.push_back(std::move(p));
+    return Link{sim, cfg, [this](PacketPtr p) {
+                  delivered.push_back(*p);  // copy out; the handle recycles
                   times.push_back(sim.now());
                 }};
+  }
+
+  PacketPtr packet(std::uint32_t payload) {
+    return pooled_data_packet(sim, IpAddr{1}, IpAddr{2}, payload);
   }
 };
 
@@ -135,7 +152,7 @@ TEST_F(LinkTest, SerializationPlusPropagationDelay) {
   Link link = make_link({.name = "l", .rate_bps = 8.32e6,
                          .prop_delay = sim::Duration::millis(5),
                          .queue_capacity_bytes = 100000});
-  link.send(make_data_packet(IpAddr{1}, IpAddr{2}, 1000));
+  link.send(packet(1000));
   sim.run();
   ASSERT_EQ(delivered.size(), 1u);
   EXPECT_NEAR(times[0].to_millis(), 6.0, 1e-6);
@@ -145,7 +162,7 @@ TEST_F(LinkTest, BackToBackPacketsSerialize) {
   Link link = make_link({.name = "l", .rate_bps = 8.32e6,
                          .prop_delay = sim::Duration::millis(5),
                          .queue_capacity_bytes = 100000});
-  for (int i = 0; i < 3; ++i) link.send(make_data_packet(IpAddr{1}, IpAddr{2}, 1000));
+  for (int i = 0; i < 3; ++i) link.send(packet(1000));
   sim.run();
   ASSERT_EQ(delivered.size(), 3u);
   EXPECT_NEAR(times[0].to_millis(), 6.0, 1e-6);
@@ -157,7 +174,7 @@ TEST_F(LinkTest, QueueOverflowDropsTail) {
   Link link = make_link({.name = "l", .rate_bps = 1e6,
                          .prop_delay = sim::Duration::millis(1),
                          .queue_capacity_bytes = 3000});
-  for (int i = 0; i < 10; ++i) link.send(make_data_packet(IpAddr{1}, IpAddr{2}, 1000));
+  for (int i = 0; i < 10; ++i) link.send(packet(1000));
   sim.run();
   EXPECT_LT(delivered.size(), 10u);
   EXPECT_GT(link.stats().packets_dropped_queue, 0u);
@@ -169,7 +186,7 @@ TEST_F(LinkTest, WireLossDropsButKeepsServing) {
                          .prop_delay = sim::Duration::millis(1),
                          .queue_capacity_bytes = 1 << 20});
   link.set_loss_model(std::make_unique<BernoulliLoss>(0.5, sim.rng("l")));
-  for (int i = 0; i < 2000; ++i) link.send(make_data_packet(IpAddr{1}, IpAddr{2}, 100));
+  for (int i = 0; i < 2000; ++i) link.send(packet(100));
   sim.run();
   EXPECT_GT(link.stats().packets_dropped_wire, 700u);
   EXPECT_GT(delivered.size(), 700u);
@@ -186,10 +203,10 @@ TEST_F(LinkTest, ExtraDelayPreservesFifoOrder) {
   link.set_extra_delay_fn([&count]() {
     return (count++ == 0) ? sim::Duration::millis(50) : sim::Duration::zero();
   });
-  Packet a = make_data_packet(IpAddr{1}, IpAddr{2}, 100);
-  a.tcp.seq = 1;
-  Packet b = make_data_packet(IpAddr{1}, IpAddr{2}, 100);
-  b.tcp.seq = 2;
+  PacketPtr a = packet(100);
+  a->tcp.seq = 1;
+  PacketPtr b = packet(100);
+  b->tcp.seq = 2;
   link.send(std::move(a));
   link.send(std::move(b));
   sim.run();
@@ -207,7 +224,7 @@ TEST_F(LinkTest, GateDefersServiceStart) {
   link.set_gate_fn([](sim::TimePoint now) {
     return std::max(now, sim::TimePoint::origin() + sim::Duration::millis(300));
   });
-  link.send(make_data_packet(IpAddr{1}, IpAddr{2}, 100));
+  link.send(packet(100));
   sim.run();
   ASSERT_EQ(delivered.size(), 1u);
   EXPECT_GT(times[0].to_millis(), 300.0);
@@ -222,7 +239,7 @@ TEST_F(LinkTest, RateFnConsultedPerPacket) {
     ++calls;
     return 1e9;
   });
-  for (int i = 0; i < 5; ++i) link.send(make_data_packet(IpAddr{1}, IpAddr{2}, 100));
+  for (int i = 0; i < 5; ++i) link.send(packet(100));
   sim.run();
   EXPECT_EQ(calls, 5);
 }
@@ -231,16 +248,16 @@ TEST(NetworkTest, RoutesViaUplinkBySource) {
   sim::Simulation sim{1};
   Network net{sim};
   std::vector<Packet> at_server;
-  net.attach_host(IpAddr{10}, [&](Packet p) { at_server.push_back(std::move(p)); });
+  net.attach_host(IpAddr{10}, [&](PacketPtr p) { at_server.push_back(*p); });
   Link up{sim, {.name = "up", .rate_bps = 1e6, .prop_delay = sim::Duration::millis(3),
                 .queue_capacity_bytes = 1 << 20},
-          [&net](Packet p) { net.deliver_local(std::move(p)); }};
+          [&net](PacketPtr p) { net.deliver_local(std::move(p)); }};
   Link down{sim, {.name = "down", .rate_bps = 1e6, .prop_delay = sim::Duration::millis(3),
                   .queue_capacity_bytes = 1 << 20},
-            [&net](Packet p) { net.deliver_local(std::move(p)); }};
+            [&net](PacketPtr p) { net.deliver_local(std::move(p)); }};
   net.set_access(IpAddr{1}, &up, &down);
 
-  net.send(make_data_packet(IpAddr{1}, IpAddr{10}, 100));
+  net.send(pooled_data_packet(sim, IpAddr{1}, IpAddr{10}, 100));
   sim.run();
   ASSERT_EQ(at_server.size(), 1u);
   EXPECT_EQ(up.stats().packets_delivered, 1u);
@@ -251,16 +268,16 @@ TEST(NetworkTest, RoutesViaDownlinkByDestination) {
   sim::Simulation sim{1};
   Network net{sim};
   std::vector<Packet> at_client;
-  net.attach_host(IpAddr{1}, [&](Packet p) { at_client.push_back(std::move(p)); });
+  net.attach_host(IpAddr{1}, [&](PacketPtr p) { at_client.push_back(*p); });
   Link up{sim, {.name = "up", .rate_bps = 1e6, .prop_delay = sim::Duration::millis(3),
                 .queue_capacity_bytes = 1 << 20},
-          [&net](Packet p) { net.deliver_local(std::move(p)); }};
+          [&net](PacketPtr p) { net.deliver_local(std::move(p)); }};
   Link down{sim, {.name = "down", .rate_bps = 1e6, .prop_delay = sim::Duration::millis(3),
                   .queue_capacity_bytes = 1 << 20},
-            [&net](Packet p) { net.deliver_local(std::move(p)); }};
+            [&net](PacketPtr p) { net.deliver_local(std::move(p)); }};
   net.set_access(IpAddr{1}, &up, &down);
 
-  net.send(make_data_packet(IpAddr{10}, IpAddr{1}, 100));
+  net.send(pooled_data_packet(sim, IpAddr{10}, IpAddr{1}, 100));
   sim.run();
   ASSERT_EQ(at_client.size(), 1u);
   EXPECT_EQ(down.stats().packets_delivered, 1u);
@@ -270,8 +287,8 @@ TEST(NetworkTest, WiredFallbackWithoutAccessLinks) {
   sim::Simulation sim{1};
   Network net{sim};
   std::vector<sim::TimePoint> times;
-  net.attach_host(IpAddr{10}, [&](Packet) { times.push_back(sim.now()); });
-  net.send(make_data_packet(IpAddr{11}, IpAddr{10}, 100));
+  net.attach_host(IpAddr{10}, [&](PacketPtr) { times.push_back(sim.now()); });
+  net.send(pooled_data_packet(sim, IpAddr{11}, IpAddr{10}, 100));
   sim.run();
   ASSERT_EQ(times.size(), 1u);
   EXPECT_EQ(times[0] - sim::TimePoint::origin(), net.wired_delay());
@@ -280,14 +297,14 @@ TEST(NetworkTest, WiredFallbackWithoutAccessLinks) {
 TEST(NetworkTest, ObserversSeeSendAndDeliver) {
   sim::Simulation sim{1};
   Network net{sim};
-  net.attach_host(IpAddr{10}, [](Packet) {});
+  net.attach_host(IpAddr{10}, [](PacketPtr) {});
   int sends = 0;
   int delivers = 0;
   net.add_observer([&](const TraceEvent& ev) {
     if (ev.kind == TraceEvent::Kind::kSend) ++sends;
     if (ev.kind == TraceEvent::Kind::kDeliver) ++delivers;
   });
-  net.send(make_data_packet(IpAddr{11}, IpAddr{10}, 100));
+  net.send(pooled_data_packet(sim, IpAddr{11}, IpAddr{10}, 100));
   sim.run();
   EXPECT_EQ(sends, 1);
   EXPECT_EQ(delivers, 1);
@@ -296,7 +313,7 @@ TEST(NetworkTest, ObserversSeeSendAndDeliver) {
 TEST(NetworkTest, UnattachedDestinationIsSilentlyDropped) {
   sim::Simulation sim{1};
   Network net{sim};
-  net.send(make_data_packet(IpAddr{11}, IpAddr{99}, 100));
+  net.send(pooled_data_packet(sim, IpAddr{11}, IpAddr{99}, 100));
   sim.run();  // must not crash
   SUCCEED();
 }
@@ -308,13 +325,13 @@ TEST(HostTest, DemuxesByFlowKey) {
   int flow_a = 0;
   int listener = 0;
   const FlowKey key{SocketAddr{IpAddr{1}, 2000}, SocketAddr{IpAddr{10}, 1000}};
-  host.register_flow(key, [&](Packet) { ++flow_a; });
-  host.listen(2000, [&](Packet) { ++listener; });
+  host.register_flow(key, [&](PacketPtr) { ++flow_a; });
+  host.listen(2000, [&](PacketPtr) { ++listener; });
 
-  net.send(make_data_packet(IpAddr{10}, IpAddr{1}, 10));  // ports 1000->2000
+  net.send(pooled_data_packet(sim, IpAddr{10}, IpAddr{1}, 10));  // ports 1000->2000
   // A different remote port: should hit the listener, not the flow.
-  Packet other = make_data_packet(IpAddr{10}, IpAddr{1}, 10);
-  other.tcp.src_port = 1001;
+  PacketPtr other = pooled_data_packet(sim, IpAddr{10}, IpAddr{1}, 10);
+  other->tcp.src_port = 1001;
   net.send(std::move(other));
   sim.run();
   EXPECT_EQ(flow_a, 1);
@@ -325,7 +342,7 @@ TEST(HostTest, UnmatchedPacketsCounted) {
   sim::Simulation sim{1};
   Network net{sim};
   Host host{sim, net, {IpAddr{1}}};
-  net.send(make_data_packet(IpAddr{10}, IpAddr{1}, 10));
+  net.send(pooled_data_packet(sim, IpAddr{10}, IpAddr{1}, 10));
   sim.run();
   EXPECT_EQ(host.unmatched_packets(), 1u);
 }
@@ -336,9 +353,9 @@ TEST(HostTest, UnregisterStopsDelivery) {
   Host host{sim, net, {IpAddr{1}}};
   int hits = 0;
   const FlowKey key{SocketAddr{IpAddr{1}, 2000}, SocketAddr{IpAddr{10}, 1000}};
-  host.register_flow(key, [&](Packet) { ++hits; });
+  host.register_flow(key, [&](PacketPtr) { ++hits; });
   host.unregister_flow(key);
-  net.send(make_data_packet(IpAddr{10}, IpAddr{1}, 10));
+  net.send(pooled_data_packet(sim, IpAddr{10}, IpAddr{1}, 10));
   sim.run();
   EXPECT_EQ(hits, 0);
   EXPECT_EQ(host.unmatched_packets(), 1u);
@@ -358,9 +375,9 @@ TEST(HostTest, SendStampsUniquePacketIds) {
   Network net{sim};
   Host host{sim, net, {IpAddr{1}}};
   std::vector<std::uint64_t> uids;
-  net.attach_host(IpAddr{10}, [&](Packet p) { uids.push_back(p.uid); });
-  host.send(make_data_packet(IpAddr{1}, IpAddr{10}, 10));
-  host.send(make_data_packet(IpAddr{1}, IpAddr{10}, 10));
+  net.attach_host(IpAddr{10}, [&](PacketPtr p) { uids.push_back(p->uid); });
+  host.send(pooled_data_packet(sim, IpAddr{1}, IpAddr{10}, 10));
+  host.send(pooled_data_packet(sim, IpAddr{1}, IpAddr{10}, 10));
   sim.run();
   ASSERT_EQ(uids.size(), 2u);
   EXPECT_NE(uids[0], uids[1]);

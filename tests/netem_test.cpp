@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "net/network.h"
+#include "net/packet_pool.h"
 #include "netem/access.h"
 #include "netem/arq.h"
 #include "netem/background.h"
@@ -136,7 +137,7 @@ TEST(BackgroundTest, InjectsAtConfiguredUtilization) {
   net::Link link{sim,
                  {.name = "l", .rate_bps = 10e6, .prop_delay = sim::Duration::millis(1),
                   .queue_capacity_bytes = 1 << 20},
-                 [&](net::Packet p) { delivered_bytes += p.wire_bytes(); }};
+                 [&](net::PacketPtr p) { delivered_bytes += p->wire_bytes(); }};
   BackgroundTraffic bg{sim, link,
                        {.on_utilization = 0.5, .on_fraction = 1.0,
                         .mean_on = sim::Duration::seconds(10)},
@@ -153,7 +154,7 @@ TEST(BackgroundTest, OnOffDutyCycle) {
   net::Link link{sim,
                  {.name = "l", .rate_bps = 10e6, .prop_delay = sim::Duration::millis(1),
                   .queue_capacity_bytes = 1 << 20},
-                 [&](net::Packet p) { delivered_bytes += p.wire_bytes(); }};
+                 [&](net::PacketPtr p) { delivered_bytes += p->wire_bytes(); }};
   BackgroundTraffic bg{sim, link,
                        {.on_utilization = 0.8, .on_fraction = 0.25,
                         .mean_on = sim::Duration::seconds(1)},
@@ -169,7 +170,7 @@ TEST(BackgroundTest, StopHaltsInjection) {
   net::Link link{sim,
                  {.name = "l", .rate_bps = 10e6, .prop_delay = sim::Duration::millis(1),
                   .queue_capacity_bytes = 1 << 20},
-                 [](net::Packet) {}};
+                 [](net::PacketPtr) {}};
   BackgroundTraffic bg{sim, link,
                        {.on_utilization = 0.5, .on_fraction = 1.0,
                         .mean_on = sim::Duration::seconds(10)},
@@ -221,13 +222,13 @@ TEST(AccessNetworkTest, BuildsAndRegistersWithNetwork) {
   sim::Simulation sim{11};
   net::Network network{sim};
   int delivered = 0;
-  network.attach_host(net::IpAddr{10}, [&](net::Packet) { ++delivered; });
+  network.attach_host(net::IpAddr{10}, [&](net::PacketPtr) { ++delivered; });
   AccessNetwork access{sim, network, net::IpAddr{1}, wifi_home()};
 
-  net::Packet p;
-  p.src = net::IpAddr{1};
-  p.dst = net::IpAddr{10};
-  p.payload_bytes = 100;
+  net::PacketPtr p = sim.service<net::PacketPool>().acquire();
+  p->src = net::IpAddr{1};
+  p->dst = net::IpAddr{10};
+  p->payload_bytes = 100;
   network.send(std::move(p));
   sim.run_for(sim::Duration::seconds(1));
   EXPECT_EQ(delivered, 1);
@@ -238,16 +239,16 @@ TEST(AccessNetworkTest, CellularRrcDelaysColdStart) {
   sim::Simulation sim{12};
   net::Network network{sim};
   sim::TimePoint arrival;
-  network.attach_host(net::IpAddr{10}, [&](net::Packet) { arrival = sim.now(); });
+  network.attach_host(net::IpAddr{10}, [&](net::PacketPtr) { arrival = sim.now(); });
   AccessProfile profile = att_lte();
   profile.rate_sigma = 0;  // deterministic
   profile.arq.retx_prob = 0;
   AccessNetwork access{sim, network, net::IpAddr{2}, profile};
 
-  net::Packet p;
-  p.src = net::IpAddr{2};
-  p.dst = net::IpAddr{10};
-  p.payload_bytes = 100;
+  net::PacketPtr p = sim.service<net::PacketPool>().acquire();
+  p->src = net::IpAddr{2};
+  p->dst = net::IpAddr{10};
+  p->payload_bytes = 100;
   network.send(std::move(p));
   sim.run_for(sim::Duration::seconds(2));
   // One-way delay must include the 300 ms promotion.

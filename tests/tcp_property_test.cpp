@@ -38,7 +38,7 @@ TransferOutcome run_transfer(double rate_mbps, int owd_ms, double loss,
   net::Network network{sim};
   net::Host server{sim, network, {kServerAddr}};
   net::Host client{sim, network, {kClientAddr}};
-  auto deliver = [&network](net::Packet p) { network.deliver_local(std::move(p)); };
+  auto deliver = [&network](net::PacketPtr p) { network.deliver_local(std::move(p)); };
   net::Link up{sim,
                {.name = "up", .rate_bps = rate_mbps * 1e6,
                 .prop_delay = sim::Duration::millis(owd_ms),
@@ -185,7 +185,7 @@ TEST_P(TcpConfigSweep, LossyTransferCompletesUnderAnyConfig) {
   net::Network network{sim};
   net::Host server{sim, network, {kServerAddr}};
   net::Host client{sim, network, {kClientAddr}};
-  auto deliver = [&network](net::Packet p) { network.deliver_local(std::move(p)); };
+  auto deliver = [&network](net::PacketPtr p) { network.deliver_local(std::move(p)); };
   net::Link up{sim,
                {.name = "up", .rate_bps = 20e6, .prop_delay = sim::Duration::millis(20),
                 .queue_capacity_bytes = 1 << 20},

@@ -45,7 +45,7 @@ class TcpRig {
                              .queue_capacity_bytes = 1 << 20};
     net::Link::Config down_cfg{.name = "down", .rate_bps = rate_bps, .prop_delay = owd,
                                .queue_capacity_bytes = 1 << 20};
-    auto deliver = [this](net::Packet p) { network.deliver_local(std::move(p)); };
+    auto deliver = [this](net::PacketPtr p) { network.deliver_local(std::move(p)); };
     up = std::make_unique<net::Link>(sim, up_cfg, deliver);
     down = std::make_unique<net::Link>(sim, down_cfg, deliver);
     network.set_access(kClientAddr, up.get(), down.get());
