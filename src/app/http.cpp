@@ -26,6 +26,20 @@ MptcpHttpServer::MptcpHttpServer(net::Host& host, std::uint16_t port, core::Mptc
             conn.write(size);
           }
         };
+      },
+      // SYNs whose MP_CAPABLE a middlebox stripped: serve them identically
+      // over plain TCP (RFC 6824 §3.7 fallback).
+      [this](tcp::TcpEndpoint& ep) {
+        states_.push_back(std::make_unique<PerConn>());
+        PerConn* st = states_.back().get();
+        ep.on_data = [this, st, &ep](std::uint64_t /*offset*/, std::uint32_t len) {
+          st->bytes_received += len;
+          while (st->bytes_received >= (st->requests_served + 1) * kRequestBytes) {
+            const std::uint64_t size = object_size_(st->requests_served);
+            ++st->requests_served;
+            ep.write(size);
+          }
+        };
       });
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 namespace mpr::core {
 
@@ -111,7 +112,13 @@ MptcpSubflow& MptcpConnection::create_subflow(net::SocketAddr local, net::Socket
   const auto id = static_cast<std::uint8_t>(subflows_.size());
   subflows_.push_back(std::make_unique<MptcpSubflow>(host_, local, remote, config_.subflow,
                                                      cc_.get(), *this, id, kind, backup));
-  return *subflows_.back();
+  MptcpSubflow& sf = *subflows_.back();
+  // In plain-TCP fallback there is no DATA_FIN; the subflow FIN marks the
+  // end of the data stream.
+  sf.on_peer_fin = [this] {
+    if (fallback_ == FallbackKind::kPlainTcp) on_data_fin_signal(rx_.rcv_nxt());
+  };
+  return sf;
 }
 
 bool MptcpConnection::is_backup_addr(net::IpAddr addr) const {
@@ -218,6 +225,7 @@ void MptcpConnection::decorate_extra(MptcpSubflow& sf, net::Packet& p) {
     p.tcp.add_addr = net::AddAddrOption{advertise_addrs_[0], 1};
   }
   if (remove_addr_pending_) p.tcp.remove_addr = *remove_addr_pending_;
+  if (pending_mp_fail_) p.tcp.mp_fail = net::MpFailOption{*pending_mp_fail_, pending_mp_fail_rst_};
   // Keep signalling DATA_FIN until the peer has seen the whole stream
   // (receivers treat repeats as idempotent).
   if (data_fin_sent_ && app_pending_ == 0 && p.tcp.dss) {
@@ -276,6 +284,26 @@ void MptcpConnection::pump_all() {
 
 std::optional<tcp::TcpEndpoint::Chunk> MptcpConnection::next_chunk_for(
     MptcpSubflow& sf, std::uint32_t max_len) {
+  // Plain-TCP fallback: one subflow, no DSS mappings, no reinjection. The
+  // data stream rides the subflow's own sequence space; data-level progress
+  // is tracked via on_fallback_ack.
+  if (fallback_ == FallbackKind::kPlainTcp) {
+    if (app_pending_ == 0) return std::nullopt;
+    const std::uint64_t data_in_flight = data_snd_nxt_ - data_una_;
+    if (data_in_flight >= peer_window_) return std::nullopt;
+    const std::uint64_t room = peer_window_ - data_in_flight;
+    const auto len = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>({max_len, app_pending_, room}));
+    if (len == 0) return std::nullopt;
+    tcp::TcpEndpoint::Chunk chunk;
+    chunk.len = len;
+    chunk.dsn = data_snd_nxt_;
+    data_snd_nxt_ += len;
+    app_pending_ -= len;
+    if (data_fin_requested_ && app_pending_ == 0) data_fin_sent_ = true;
+    return chunk;
+  }
+
   // Backup subflows (RFC 6824 B bit) stay idle while any regular subflow
   // is operational.
   if (sf.backup() && any_healthy_regular_subflow()) return std::nullopt;
@@ -511,6 +539,206 @@ void MptcpConnection::fail_connection() {
 }
 
 // ---------------------------------------------------------------------------
+// RFC 6824 fallback: middlebox-stripped options, DSS checksum failures and
+// MP_FAIL / infinite-mapping recovery (§3.6–§3.8).
+
+MptcpSubflow* MptcpConnection::other_live_subflow(const MptcpSubflow& sf) const {
+  for (const auto& other : subflows_) {
+    if (other.get() == &sf) continue;
+    if (other->state() == tcp::TcpState::kEstablished ||
+        other->state() == tcp::TcpState::kCloseWait) {
+      return other.get();
+    }
+  }
+  return nullptr;
+}
+
+void MptcpConnection::enter_plain_fallback(MptcpSubflow& sf) {
+  fallback_ = FallbackKind::kPlainTcp;
+  fallback_counters_.plain_tcp = true;
+  // The connection can never add subflows again; cancel all join machinery
+  // and reset every other subflow (they are not part of a plain TCP
+  // connection).
+  joins_started_ = true;
+  for (auto& [key, st] : join_retries_) {
+    if (st.timer != sim::kInvalidEventId) host_.sim().cancel(st.timer);
+  }
+  join_retries_.clear();
+  for (const auto& other : subflows_) {
+    if (other.get() == &sf) continue;
+    if (other->state() != tcp::TcpState::kClosed && other->state() != tcp::TcpState::kDone) {
+      other->send_reset();
+      other->abort();
+    }
+  }
+}
+
+void MptcpConnection::on_capable_fallback(MptcpSubflow& sf) {
+  if (!config_.allow_tcp_fallback) {
+    fail_connection();
+    return;
+  }
+  enter_plain_fallback(sf);
+}
+
+void MptcpConnection::on_join_refused(MptcpSubflow& sf) {
+  ++fallback_counters_.join_refusals;
+  clear_join_retry(sf.local().addr, sf.remote().addr);
+  note_paths_dead();
+}
+
+void MptcpConnection::on_subflow_reset(MptcpSubflow& sf, bool during_handshake) {
+  ++fallback_counters_.subflow_resets_received;
+  if (failed_ || closing()) return;
+  if (during_handshake) {
+    if (sf.kind() == MptcpSubflow::HandshakeKind::kCapable && !established_) {
+      // RST in reply to the MP_CAPABLE SYN: no connection came up at all.
+      fail_connection();
+      return;
+    }
+    // A refused join: the connection survives on its other subflows. The
+    // endpoint already went through handle_connect_failed (which handles
+    // retry scheduling), so only account for the refusal here.
+    ++fallback_counters_.join_refusals;
+    clear_join_retry(sf.local().addr, sf.remote().addr);
+    note_paths_dead();
+    return;
+  }
+  // Mid-stream RST: treat like a dead path — reinject stranded data. If the
+  // RST carried an MP_FAIL, on_remote_mp_fail already queued the precise
+  // DSN range (options are processed before the reset). But a middlebox may
+  // have stripped the MP_FAIL, leaving a bare RST: the peer TCP-acked (then
+  // discarded) segments it could not map, so the stranded set alone misses
+  // the acked-but-never-data-acked range. Conservatively requeue everything
+  // outstanding at the data level; duplicates are absorbed by the reorder
+  // buffer and dropped once data-acked.
+  strand(sf);
+  if (data_snd_nxt_ > data_una_) {
+    const std::uint64_t span = data_snd_nxt_ - data_una_;
+    reinject_queue_.push_back(
+        Reinject{data_una_,
+                 static_cast<std::uint32_t>(
+                     std::min<std::uint64_t>(span, std::numeric_limits<std::uint32_t>::max())),
+                 sf.id()});
+  }
+  note_paths_dead();
+  pump_all();
+}
+
+void MptcpConnection::on_fallback_ack(std::uint64_t acked) {
+  if (fallback_ != FallbackKind::kPlainTcp || acked <= data_una_) return;
+  data_una_ = acked;
+  dead_since_.reset();
+  maybe_close_subflows();
+  pump_all();
+}
+
+void MptcpConnection::close_subflow_with_mp_fail(MptcpSubflow& sf, std::uint64_t fail_dsn) {
+  // MP_FAIL + RST ride out together on the reset that closes the subflow;
+  // the peer reinjects everything unacked at the data level.
+  pending_mp_fail_ = fail_dsn;
+  pending_mp_fail_rst_ = true;
+  ++fallback_counters_.mp_fail_sent;
+  sf.send_reset();
+  pending_mp_fail_rst_ = false;
+  pending_mp_fail_.reset();
+  strand(sf);
+  sf.abort();
+  note_paths_dead();
+  pump_all();
+}
+
+void MptcpConnection::on_checksum_failure(MptcpSubflow& sf) {
+  ++fallback_counters_.checksum_failures;
+  if (failed_ || closing()) return;
+  const std::uint64_t fail_dsn = rx_.rcv_nxt();
+  if (config_.checksum_teardown) {
+    fail_connection();
+    return;
+  }
+  if (other_live_subflow(sf) != nullptr) {
+    // §3.6: close the offending subflow, the connection lives on.
+    close_subflow_with_mp_fail(sf, fail_dsn);
+    return;
+  }
+  // Last subflow: fall back to one infinite mapping (§3.7). The MP_FAIL
+  // stays attached until data progresses past the failed DSN, prompting the
+  // peer to retransmit from there without checksums. No subflow can join a
+  // fallen-back connection.
+  fallback_ = FallbackKind::kInfiniteMapping;
+  fallback_counters_.infinite_mapping = true;
+  joins_started_ = true;
+  pending_mp_fail_ = fail_dsn;
+  ++fallback_counters_.mp_fail_sent;
+  sf.send_ack_now();
+}
+
+void MptcpConnection::on_remote_mp_fail(MptcpSubflow& sf, std::uint64_t dsn,
+                                        bool subflow_closed) {
+  if (!mp_fail_seen_.insert(dsn).second) return;  // sticky option: act once
+  ++fallback_counters_.mp_fail_received;
+  if (failed_ || fallback_ == FallbackKind::kPlainTcp) return;
+  if (!subflow_closed && fallback_ != FallbackKind::kInfiniteMapping) {
+    // The peer fell back to an infinite mapping on its last subflow; mirror
+    // it so our own mappings turn linear too.
+    fallback_ = FallbackKind::kInfiniteMapping;
+    fallback_counters_.infinite_mapping = true;
+    joins_started_ = true;
+  }
+  // Everything from the failed DSN on needs to reach the peer again: the
+  // corrupt range was TCP-acked, so it is not in any outstanding mapping.
+  const std::uint64_t from = std::max(dsn, data_una_);
+  if (data_snd_nxt_ > from) {
+    reinject_queue_.push_back(
+        Reinject{from,
+                 static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                     data_snd_nxt_ - from, std::numeric_limits<std::uint32_t>::max())),
+                 subflow_closed ? sf.id() : kReinjectAnyOrigin});
+    pump_all();
+  }
+}
+
+void MptcpConnection::on_unmapped_payload(MptcpSubflow& sf, std::uint64_t offset,
+                                          std::uint32_t len) {
+  if (fallback_ == FallbackKind::kPlainTcp) {
+    on_subflow_data(sf, offset, len, false);
+    return;
+  }
+  // A young connection that never saw a DSS from the peer: a strict proxy
+  // strips every MPTCP option mid-handshake — fall back to plain TCP while
+  // the streams are still aligned (nothing delivered or acked yet).
+  if (fallback_ == FallbackKind::kNone && !dss_seen_ && !failed_ && !closing() &&
+      config_.allow_tcp_fallback && other_live_subflow(sf) == nullptr && data_una_ == 0 &&
+      rx_.rcv_nxt() == 0) {
+    enter_plain_fallback(sf);
+    on_subflow_data(sf, offset, len, false);
+    return;
+  }
+  ++fallback_counters_.unmapped_segments;
+  if (failed_ || closing()) return;
+  if (other_live_subflow(sf) != nullptr) {
+    close_subflow_with_mp_fail(sf, rx_.rcv_nxt());
+    return;
+  }
+  // Unmapped bytes on the last subflow of a connection already carrying
+  // DSS-mapped data: the data-level sequence cannot be resynchronized
+  // (deviation: RFC 6824 would have prevented this by checksums; we tear
+  // down via on_error instead of hanging).
+  fail_connection();
+}
+
+void MptcpConnection::on_plain_packet(MptcpSubflow& sf) {
+  if (fallback_ != FallbackKind::kNone || dss_seen_ || failed_ || closing()) return;
+  if (!config_.allow_tcp_fallback) return;
+  if (sf.state() != tcp::TcpState::kEstablished && sf.state() != tcp::TcpState::kCloseWait) {
+    return;
+  }
+  if (other_live_subflow(sf) != nullptr) return;
+  if (data_una_ != 0 || rx_.rcv_nxt() != 0) return;
+  enter_plain_fallback(sf);
+}
+
+// ---------------------------------------------------------------------------
 // Mobility / path management (extensions).
 
 void MptcpConnection::set_subflow_backup(net::IpAddr local_addr, bool backup) {
@@ -624,6 +852,9 @@ void MptcpConnection::on_subflow_data(MptcpSubflow& sf, std::uint64_t dsn, std::
                                       bool data_fin) {
   maybe_start_joins();
   rx_.insert(dsn, len, host_.sim().now(), sf.id());
+  // Infinite-mapping fallback: MP_FAIL stays attached until the peer's
+  // retransmissions move the receive edge past the failed DSN.
+  if (pending_mp_fail_ && rx_.rcv_nxt() > *pending_mp_fail_) pending_mp_fail_.reset();
   if (data_fin) on_data_fin_signal(dsn + len);
 }
 

@@ -66,11 +66,43 @@ struct MptcpConfig {
   /// the "backup mode" of Paasch et al. that trades throughput for the
   /// second radio's energy (§6/§7 of the paper).
   std::vector<net::IpAddr> backup_local_addrs;
+  /// Attach the RFC 6824 §3.3 DSS checksum to every mapping and verify it at
+  /// the receiver. Off by default: checksums cost 2 option bytes per data
+  /// segment and only matter when a middlebox rewrites payload.
+  bool dss_checksum{false};
+  /// On a checksum failure, tear the whole connection down instead of the
+  /// RFC 6824 §3.6 recovery (close the subflow with MP_FAIL+RST, or fall
+  /// back to an infinite mapping on the last subflow).
+  bool checksum_teardown{false};
+  /// RFC 6824 §3.7: when the peer's MP_CAPABLE is stripped by a middlebox,
+  /// continue as plain single-path TCP. When disabled the connection fails
+  /// instead (surfaced through on_error).
+  bool allow_tcp_fallback{true};
 };
 
 class MptcpConnection {
  public:
   enum class Role { kClient, kServer };
+
+  /// RFC 6824 fallback state. kPlainTcp: the handshake (or an option-
+  /// stripping middlebox mid-stream) demoted the connection to single-path
+  /// TCP — no MPTCP option is sent or honoured any more. kInfiniteMapping:
+  /// a checksum failure on the last subflow switched the data stream to one
+  /// unbounded mapping (§3.7); the connection survives but can never add
+  /// subflows again.
+  enum class FallbackKind { kNone, kPlainTcp, kInfiniteMapping };
+
+  /// Robustness telemetry, aggregated into SimStats by the harness.
+  struct FallbackCounters {
+    bool plain_tcp{false};
+    bool infinite_mapping{false};
+    std::uint64_t checksum_failures{0};
+    std::uint64_t mp_fail_sent{0};
+    std::uint64_t mp_fail_received{0};
+    std::uint64_t join_refusals{0};
+    std::uint64_t unmapped_segments{0};
+    std::uint64_t subflow_resets_received{0};
+  };
 
   /// Client-side connection. `local_addrs[0]` is the default path (WiFi in
   /// the paper); the rest join per the configured SYN mode.
@@ -128,6 +160,12 @@ class MptcpConnection {
   [[nodiscard]] std::uint64_t penalizations() const { return penalizations_; }
   [[nodiscard]] std::uint64_t reinjected_chunks() const { return reinjected_chunks_; }
   [[nodiscard]] const MptcpConfig& config() const { return config_; }
+  [[nodiscard]] FallbackKind fallback() const { return fallback_; }
+  [[nodiscard]] bool plain_fallback() const { return fallback_ == FallbackKind::kPlainTcp; }
+  [[nodiscard]] bool infinite_mapping() const {
+    return fallback_ == FallbackKind::kInfiniteMapping;
+  }
+  [[nodiscard]] const FallbackCounters& fallback_counters() const { return fallback_counters_; }
 
   // --- Module-internal API (called by MptcpSubflow and MptcpServer) --------
   std::optional<tcp::TcpEndpoint::Chunk> next_chunk_for(MptcpSubflow& sf,
@@ -152,6 +190,28 @@ class MptcpConnection {
   void set_remote_key(std::uint64_t k) { remote_key_ = k; }
   /// Server only: attach an MP_JOIN subflow from an incoming SYN.
   void accept_join(const net::Packet& join_syn);
+  // Fallback / middlebox-interference paths (RFC 6824 §3.6–§3.8).
+  /// The initial subflow completed its handshake without the peer echoing
+  /// MP_CAPABLE (option stripped in transit).
+  void on_capable_fallback(MptcpSubflow& sf);
+  /// A join subflow was refused (MP_JOIN stripped, or arrived after plain
+  /// fallback); the subflow has already reset itself.
+  void on_join_refused(MptcpSubflow& sf);
+  /// The peer sent RST on a subflow.
+  void on_subflow_reset(MptcpSubflow& sf, bool during_handshake);
+  /// Plain-TCP fallback only: subflow-level cumulative ack progress stands
+  /// in for the DSS data-ack.
+  void on_fallback_ack(std::uint64_t acked);
+  /// A received mapping failed its DSS checksum (§3.3 / §3.6).
+  void on_checksum_failure(MptcpSubflow& sf);
+  /// The peer signalled MP_FAIL for `dsn`.
+  void on_remote_mp_fail(MptcpSubflow& sf, std::uint64_t dsn, bool subflow_closed);
+  /// Payload arrived that no DSS mapping covers (stripped or over-coalesced).
+  void on_unmapped_payload(MptcpSubflow& sf, std::uint64_t offset, std::uint32_t len);
+  /// An established peer sent a data-less, DSS-less, non-SYN/RST packet —
+  /// possibly the far side of a mid-handshake fallback.
+  void on_plain_packet(MptcpSubflow& sf);
+  void note_dss_seen() { dss_seen_ = true; }
 
  private:
   MptcpSubflow& create_subflow(net::SocketAddr local, net::SocketAddr remote,
@@ -175,6 +235,11 @@ class MptcpConnection {
   void schedule_join_retry(net::IpAddr local, net::IpAddr remote);
   void retry_join(net::IpAddr local, net::IpAddr remote);
   void clear_join_retry(net::IpAddr local, net::IpAddr remote);
+  /// Demote to plain single-path TCP on `sf`, resetting every other subflow.
+  void enter_plain_fallback(MptcpSubflow& sf);
+  [[nodiscard]] MptcpSubflow* other_live_subflow(const MptcpSubflow& sf) const;
+  /// Close `sf` with MP_FAIL+RST and reinject its stranded data elsewhere.
+  void close_subflow_with_mp_fail(MptcpSubflow& sf, std::uint64_t fail_dsn);
   [[nodiscard]] static std::uint64_t join_key(net::IpAddr local, net::IpAddr remote) {
     return (static_cast<std::uint64_t>(local.value) << 32) | remote.value;
   }
@@ -215,6 +280,9 @@ class MptcpConnection {
     std::uint32_t len{0};
     std::uint8_t origin{0};
   };
+  /// Reinject::origin sentinel: the chunk may go out on any subflow (used
+  /// when the peer's MP_FAIL does not identify a dead subflow to avoid).
+  static constexpr std::uint8_t kReinjectAnyOrigin = 0xff;
   std::deque<Reinject> reinject_queue_;
   /// dsn -> id of the subflow that most recently stranded it. A map (not a
   /// set) so that when the reinjection *target* dies too, the chunk is
@@ -237,6 +305,20 @@ class MptcpConnection {
     sim::EventId timer{sim::kInvalidEventId};
   };
   std::unordered_map<std::uint64_t, JoinRetryState> join_retries_;
+
+  // Fallback state (RFC 6824 §3.6–§3.8).
+  FallbackKind fallback_{FallbackKind::kNone};
+  FallbackCounters fallback_counters_;
+  /// Any DSS option seen from the peer: once true, a DSS-less packet is a
+  /// plain delayed ack, not evidence of a mid-stream option stripper.
+  bool dss_seen_{false};
+  /// MP_FAIL to attach to outgoing packets; sticky under infinite-mapping
+  /// fallback until receive-side data progresses past the failed DSN.
+  std::optional<std::uint64_t> pending_mp_fail_;
+  bool pending_mp_fail_rst_{false};
+  /// DSNs whose MP_FAIL we already acted on (the option is sticky at the
+  /// sender, so it arrives many times).
+  std::unordered_set<std::uint64_t> mp_fail_seen_;
 
   // Penalization bookkeeping.
   std::unordered_map<const MptcpSubflow*, sim::TimePoint> last_penalty_;

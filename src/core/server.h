@@ -16,27 +16,42 @@ namespace mpr::core {
 class MptcpServer {
  public:
   using AcceptFn = std::function<void(MptcpConnection&)>;
+  /// Wiring hook for connections accepted as plain TCP (a middlebox stripped
+  /// MP_CAPABLE from the SYN; RFC 6824 §3.7 fallback).
+  using AcceptTcpFn = std::function<void(tcp::TcpEndpoint&)>;
 
   /// `advertise_extra`: additional server addresses announced via ADD_ADDR
   /// (enables 4-path MPTCP when the client also has two interfaces).
+  /// A SYN without MP_CAPABLE is accepted as plain TCP through
+  /// `on_accept_tcp` when `config.allow_tcp_fallback`, else answered with
+  /// RST — never silently dropped.
   MptcpServer(net::Host& host, std::uint16_t port, MptcpConfig config,
-              std::vector<net::IpAddr> advertise_extra, AcceptFn on_accept);
+              std::vector<net::IpAddr> advertise_extra, AcceptFn on_accept,
+              AcceptTcpFn on_accept_tcp = nullptr);
 
   [[nodiscard]] std::size_t connection_count() const { return connections_.size(); }
   [[nodiscard]] std::uint64_t rejected_joins() const { return rejected_joins_; }
+  [[nodiscard]] std::uint64_t tcp_fallback_accepts() const { return tcp_fallback_accepts_; }
+  [[nodiscard]] std::uint64_t resets_sent() const { return resets_sent_; }
+  [[nodiscard]] std::vector<tcp::TcpEndpoint*> tcp_fallback_connections();
 
  private:
   void on_syn(const net::Packet& syn);
+  void refuse_plain_syn(const net::Packet& syn);
 
   net::Host& host_;
   MptcpConfig config_;
   std::vector<net::IpAddr> advertise_extra_;
   AcceptFn on_accept_;
+  AcceptTcpFn on_accept_tcp_;
   std::unique_ptr<tcp::TcpListener> listener_;
   std::vector<std::unique_ptr<MptcpConnection>> connections_;
+  std::vector<std::unique_ptr<tcp::TcpEndpoint>> tcp_fallback_;
   std::unordered_map<std::uint64_t, MptcpConnection*> by_token_;
   sim::Rng key_rng_;
   std::uint64_t rejected_joins_{0};
+  std::uint64_t tcp_fallback_accepts_{0};
+  std::uint64_t resets_sent_{0};
 };
 
 }  // namespace mpr::core

@@ -1,5 +1,8 @@
 #include "core/subflow.h"
 
+#include <algorithm>
+#include <limits>
+
 #include "core/connection.h"
 
 namespace mpr::core {
@@ -21,6 +24,9 @@ std::optional<tcp::TcpEndpoint::Chunk> MptcpSubflow::next_chunk(std::uint32_t ma
 }
 
 void MptcpSubflow::decorate_outgoing(net::Packet& p) {
+  // RFC 6824 §3.7: after fallback the connection is plain TCP end-to-end —
+  // no MPTCP option ever leaves this endpoint again.
+  if (conn_.plain_fallback()) return;
   if (p.tcp.has(net::kFlagSyn)) {
     if (kind_ == HandshakeKind::kCapable) {
       net::MpCapableOption cap;
@@ -35,14 +41,34 @@ void MptcpSubflow::decorate_outgoing(net::Packet& p) {
   if (!p.tcp.dss) p.tcp.dss = net::DssOption{};
   p.tcp.dss->data_ack = conn_.data_rcv_nxt();
   p.tcp.dss->has_data_ack = true;
+  if (conn_.config().dss_checksum && p.tcp.dss->length > 0) {
+    p.tcp.dss->has_checksum = true;
+    p.tcp.dss->checksum = net::dss_checksum(p.tcp.dss->dsn, p.tcp.dss->length);
+  }
   if (prio_dirty_) p.tcp.mp_prio = net::MpPrioOption{backup_};
   conn_.decorate_extra(*this, p);
 }
 
 void MptcpSubflow::process_options(const net::Packet& p) {
   conn_.note_peer_window(p.tcp.wnd);
+  if (conn_.plain_fallback()) return;
+  if (p.tcp.dss) conn_.note_dss_seen();
+  if (p.tcp.has(net::kFlagSyn)) {
+    if ((kind_ == HandshakeKind::kCapable && p.tcp.mp_capable) ||
+        (kind_ == HandshakeKind::kJoin && p.tcp.mp_join)) {
+      peer_confirmed_ = true;
+    }
+  } else if (!p.tcp.has(net::kFlagRst) && !p.tcp.dss) {
+    // An established peer speaking without any DSS: it fell back (or a
+    // strict proxy strips every option). Mirror the decision if eligible.
+    conn_.on_plain_packet(*this);
+    if (conn_.plain_fallback()) return;
+  }
   if (p.tcp.mp_capable && p.tcp.has(net::kFlagSyn) && p.tcp.has(net::kFlagAck)) {
     conn_.set_remote_key(p.tcp.mp_capable->sender_key);
+  }
+  if (p.tcp.mp_fail) {
+    conn_.on_remote_mp_fail(*this, p.tcp.mp_fail->dsn, p.tcp.mp_fail->subflow_closed);
   }
   if (p.tcp.add_addr) conn_.on_remote_add_addr(p.tcp.add_addr->addr);
   if (p.tcp.remove_addr) {
@@ -58,21 +84,82 @@ void MptcpSubflow::process_options(const net::Packet& p) {
   }
 }
 
-void MptcpSubflow::handle_established() { conn_.on_subflow_established(*this); }
-
-void MptcpSubflow::handle_data(std::uint64_t /*offset*/, std::uint32_t len,
-                               const std::optional<net::DssOption>& dss) {
-  if (dss && dss->length > 0) {
-    conn_.on_subflow_data(*this, dss->dsn, len, dss->data_fin);
+void MptcpSubflow::handle_established() {
+  if (kind_ == HandshakeKind::kJoin && (!peer_confirmed_ || conn_.plain_fallback())) {
+    // MP_JOIN never came back (stripped) or the connection already fell back
+    // to plain TCP: this subflow cannot be part of it — refuse cleanly.
+    send_reset();
+    abort();
+    conn_.on_join_refused(*this);
+    return;
   }
-  // Payload without a DSS mapping cannot be placed in the data stream; the
-  // real protocol would fall back to single-path TCP. Our senders always
-  // attach mappings, so this is unreachable in practice.
+  if (kind_ == HandshakeKind::kCapable && !peer_confirmed_ && !conn_.plain_fallback()) {
+    conn_.on_capable_fallback(*this);
+    if (conn_.failed()) return;
+  }
+  conn_.on_subflow_established(*this);
+}
+
+void MptcpSubflow::handle_data(std::uint64_t offset, std::uint32_t len,
+                               const std::optional<net::DssOption>& dss) {
+  if (conn_.plain_fallback()) {
+    // Plain TCP: the subflow stream offset *is* the data-level sequence.
+    conn_.on_subflow_data(*this, offset, len, false);
+    return;
+  }
+  if (dss && dss->length > 0) {
+    if (conn_.infinite_mapping()) {
+      // After fallback the mapping stream is linear; checksums are moot
+      // (RFC 6824 §3.7). Track the continuation for mapping-less tails.
+      conn_.on_subflow_data(*this, dss->dsn, len, dss->data_fin);
+      pending_map_ = PendingMap{dss->dsn + len, offset + len,
+                                std::numeric_limits<std::uint32_t>::max()};
+      return;
+    }
+    if (dss->has_checksum && dss->checksum != net::dss_checksum(dss->dsn, dss->length)) {
+      // TCP already acked these bytes, so they can never be retransmitted
+      // on this subflow — the connection must recover at the data level.
+      pending_map_.reset();
+      conn_.on_checksum_failure(*this);
+      return;
+    }
+    const std::uint32_t mapped = std::min(len, dss->length);
+    conn_.on_subflow_data(*this, dss->dsn, mapped, dss->data_fin);
+    if (len > dss->length) {
+      // Coalesced by a middlebox: bytes beyond what the mapping covers.
+      conn_.on_unmapped_payload(*this, offset + dss->length, len - dss->length);
+    } else if (len < dss->length) {
+      // Split by a middlebox: the mapping's tail arrives in later segments.
+      pending_map_ = PendingMap{dss->dsn + len, offset + len, dss->length - len};
+    } else {
+      pending_map_.reset();
+    }
+    return;
+  }
+  // Payload without a mapping: place it via the pending continuation if it
+  // lines up, otherwise let the connection decide (fallback or teardown).
+  if (pending_map_ && offset == pending_map_->offset && len <= pending_map_->len) {
+    conn_.on_subflow_data(*this, pending_map_->dsn, len, false);
+    pending_map_->dsn += len;
+    pending_map_->offset += len;
+    pending_map_->len -= len;
+    if (pending_map_->len == 0) pending_map_.reset();
+    return;
+  }
+  conn_.on_unmapped_payload(*this, offset, len);
 }
 
 void MptcpSubflow::handle_rto() { conn_.on_subflow_rto(*this); }
 
 void MptcpSubflow::handle_connect_failed() { conn_.on_subflow_connect_failed(*this); }
+
+void MptcpSubflow::handle_reset(bool during_handshake) {
+  conn_.on_subflow_reset(*this, during_handshake);
+}
+
+void MptcpSubflow::handle_forward_ack() {
+  if (conn_.plain_fallback()) conn_.on_fallback_ack(stream_acked_bytes());
+}
 
 std::uint64_t MptcpSubflow::advertised_window() const { return conn_.conn_window(); }
 

@@ -45,6 +45,8 @@ class MptcpSubflow final : public tcp::TcpEndpoint {
                    const std::optional<net::DssOption>& dss) override;
   void handle_rto() override;
   void handle_connect_failed() override;
+  void handle_reset(bool during_handshake) override;
+  void handle_forward_ack() override;
   [[nodiscard]] std::uint64_t advertised_window() const override;
 
  private:
@@ -54,6 +56,18 @@ class MptcpSubflow final : public tcp::TcpEndpoint {
   bool backup_;
   bool prio_dirty_{false};
   std::uint64_t scheduled_bytes_{0};
+  /// The peer echoed our handshake option kind (MP_CAPABLE / MP_JOIN). When
+  /// a middlebox strips it, the handshake completes as plain TCP and the
+  /// RFC 6824 fallback rules apply (see handle_established).
+  bool peer_confirmed_{false};
+  /// Remainder of a DSS mapping that covered more payload than its segment
+  /// carried (middlebox split): where the next mapping-less bytes belong.
+  struct PendingMap {
+    std::uint64_t dsn{0};
+    std::uint64_t offset{0};
+    std::uint32_t len{0};
+  };
+  std::optional<PendingMap> pending_map_;
 };
 
 }  // namespace mpr::core

@@ -17,6 +17,16 @@ std::string to_string(PathMode m) {
   return "?";
 }
 
+std::string to_string(RunOutcome o) {
+  switch (o) {
+    case RunOutcome::kCompleted: return "completed";
+    case RunOutcome::kTimeout: return "timeout";
+    case RunOutcome::kConnectionFailed: return "failed";
+    case RunOutcome::kWatchdogAbort: return "watchdog";
+  }
+  return "?";
+}
+
 namespace {
 
 /// Maps the client-side address of a subflow to the result bucket.
@@ -118,6 +128,9 @@ RunResult run_download(const TestbedConfig& testbed_cfg, const RunConfig& run_cf
     mcfg.simultaneous_syns = run_cfg.simultaneous_syns;
     mcfg.penalization = run_cfg.penalization;
     mcfg.receive_buffer = run_cfg.receive_buffer;
+    mcfg.dss_checksum = run_cfg.dss_checksum;
+    mcfg.checksum_teardown = run_cfg.checksum_teardown;
+    mcfg.allow_tcp_fallback = run_cfg.tcp_fallback;
     if (run_cfg.cellular_backup) mcfg.backup_local_addrs.push_back(kClientCellAddr);
 
     std::vector<net::IpAddr> advertise;
@@ -190,8 +203,23 @@ RunResult run_download(const TestbedConfig& testbed_cfg, const RunConfig& run_cf
     start_measurement();
   }
 
+  // Main event loop with an optional watchdog: the time/event caps abort a
+  // runaway run deterministically. With both caps disabled the loop's step
+  // sequence is exactly the historical one (bit-identical replays).
   const sim::TimePoint deadline = sim.now() + run_cfg.timeout;
-  while (!done && sim.now() < deadline && sim.events().step()) {
+  const bool cap_time = run_cfg.max_sim_time > sim::Duration{};
+  const sim::TimePoint hard_stop = sim.now() + run_cfg.max_sim_time;
+  bool watchdog = false;
+  while (!done && sim.now() < deadline) {
+    if (cap_time && sim.now() >= hard_stop) {
+      watchdog = true;
+      break;
+    }
+    if (run_cfg.max_events != 0 && sim.events().executed() >= run_cfg.max_events) {
+      watchdog = true;
+      break;
+    }
+    if (!sim.events().step()) break;
   }
 
   result.completed = done;
@@ -208,6 +236,17 @@ RunResult run_download(const TestbedConfig& testbed_cfg, const RunConfig& run_cf
   result.download_time_s =
       done ? (fetch.complete_time - fetch.first_syn_time).to_seconds() : run_cfg.timeout.to_seconds();
 
+  // Middlebox interference telemetry (only present when a scenario enabled
+  // one on a link).
+  for (const netem::AccessNetwork* a : {&tb.wifi_access(), &tb.cell_access()}) {
+    if (const netem::Middlebox* m = a->middlebox_if()) {
+      const netem::Middlebox::Stats& ms = m->stats();
+      result.sim_stats.middlebox_options_stripped += ms.options_stripped;
+      result.sim_stats.middlebox_packets_mangled +=
+          ms.seq_rewrites + ms.segments_split + ms.segments_coalesced + ms.payloads_corrupted;
+    }
+  }
+
   if (multipath) {
     core::MptcpConnection* server_conn = nullptr;
     if (!mp_server->connections().empty()) server_conn = mp_server->connections().front();
@@ -215,6 +254,35 @@ RunResult run_download(const TestbedConfig& testbed_cfg, const RunConfig& run_cf
     result.failed = mp_client->connection().failed();
     result.delivered_bytes = mp_client->connection().rx().delivered_bytes();
     result.duplicate_packets = mp_client->connection().rx().duplicate_packets();
+
+    // RFC 6824 fallback telemetry from both ends.
+    const auto add_fallback = [&result](const core::MptcpConnection& c) {
+      const core::MptcpConnection::FallbackCounters& fc = c.fallback_counters();
+      result.sim_stats.fallback_plain_tcp += fc.plain_tcp ? 1 : 0;
+      result.sim_stats.fallback_infinite_mapping += fc.infinite_mapping ? 1 : 0;
+      result.sim_stats.checksum_failures += fc.checksum_failures;
+      result.sim_stats.mp_fail_events += fc.mp_fail_sent;
+      result.sim_stats.join_refusals += fc.join_refusals;
+    };
+    add_fallback(mp_client->connection());
+    if (server_conn != nullptr) add_fallback(*server_conn);
+    core::MptcpServer& srv = mp_server->server();
+    result.sim_stats.fallback_plain_tcp += srv.tcp_fallback_accepts();
+    result.sim_stats.join_refusals += srv.rejected_joins();
+
+    // A stripped MP_CAPABLE SYN leaves the server with a plain-TCP
+    // endpoint instead of an MPTCP connection: collect the server-side
+    // path stats from there so loss/RTT reporting survives fallback.
+    if (server_conn == nullptr) {
+      for (tcp::TcpEndpoint* ep : srv.tcp_fallback_connections()) {
+        PathStats& ps = bucket(result, ep->remote().addr);
+        ps.data_packets_sent += ep->metrics().data_packets_sent;
+        ps.rexmit_packets += ep->metrics().rexmit_packets;
+        for (const sim::Duration d : ep->metrics().rtt_samples) {
+          ps.rtt_ms.push_back(d.to_millis());
+        }
+      }
+    }
   } else {
     PathStats& ps = bucket(result, use_wifi ? kClientWifiAddr : kClientCellAddr);
     ps.subflows = 1;
@@ -226,6 +294,16 @@ RunResult run_download(const TestbedConfig& testbed_cfg, const RunConfig& run_cf
       ps.rexmit_packets = m.rexmit_packets;
       for (const sim::Duration d : m.rtt_samples) ps.rtt_ms.push_back(d.to_millis());
     }
+  }
+
+  if (watchdog) {
+    result.outcome = RunOutcome::kWatchdogAbort;
+  } else if (done) {
+    result.outcome = RunOutcome::kCompleted;
+  } else if (result.failed) {
+    result.outcome = RunOutcome::kConnectionFailed;
+  } else {
+    result.outcome = RunOutcome::kTimeout;
   }
   return result;
 }

@@ -36,6 +36,24 @@ struct RunConfig {
   bool cellular_backup{false};
   /// Give up (incomplete run) after this much simulated time.
   sim::Duration timeout{sim::Duration::seconds(3600)};
+  /// Watchdog: hard-abort the run (RunOutcome::kWatchdogAbort) once the
+  /// simulated clock passes this bound, regardless of progress. Zero (the
+  /// default) disables the cap; the event-step sequence is then untouched,
+  /// preserving bit-identical replays of older configs.
+  sim::Duration max_sim_time{};
+  /// Watchdog: hard-abort after this many executed events (0 = unlimited).
+  /// Catches livelocks that burn events without advancing the clock.
+  std::uint64_t max_events{0};
+  /// Attach/verify the RFC 6824 §3.3 DSS checksum (detects middlebox
+  /// payload mangling at the cost of 2 option bytes per data segment).
+  bool dss_checksum{false};
+  /// Tear the connection down on a checksum failure instead of the RFC 6824
+  /// §3.6 MP_FAIL recovery.
+  bool checksum_teardown{false};
+  /// Allow RFC 6824 §3.7 fallback to plain TCP when a middlebox strips
+  /// MPTCP options. Disabled: stripped handshakes fail (client) or get RST
+  /// (server) instead.
+  bool tcp_fallback{true};
   /// Scripted fault timeline applied to the run's access networks ("wifi" /
   /// "cell"; see netem::FaultSchedule). Times are relative to run start.
   /// Interface down/up events additionally drive REMOVE_ADDR / re-join at
@@ -60,11 +78,19 @@ struct PathStats {
   }
 };
 
+/// How a run ended, beyond the completed/failed pair: the watchdog outcome
+/// distinguishes "aborted by the max_sim_time / max_events cap" from an
+/// ordinary timeout so campaign code can flag runaway configurations.
+enum class RunOutcome { kCompleted, kTimeout, kConnectionFailed, kWatchdogAbort };
+
+[[nodiscard]] std::string to_string(RunOutcome o);
+
 struct RunResult {
   bool completed{false};
   /// The connection errored out (every subflow dead past the deadline or
   /// the initial handshake gave up) rather than merely timing out.
   bool failed{false};
+  RunOutcome outcome{RunOutcome::kTimeout};
   double download_time_s{0};
   /// Application bytes delivered in order at the client (exactly-once
   /// accounting for the fault experiments).

@@ -23,6 +23,14 @@ void Link::set_queue_discipline(std::unique_ptr<QueueDiscipline> q) {
 }
 
 void Link::send(PacketPtr p) {
+  if (ingress_) {
+    ingress_(std::move(p));
+    return;
+  }
+  send_direct(std::move(p));
+}
+
+void Link::send_direct(PacketPtr p) {
   ++stats_.packets_offered;
   // The discipline's drop hook accounts for rejected packets.
   if (queue_->enqueue(std::move(p), sim_.now())) maybe_start_service();

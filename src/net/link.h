@@ -48,6 +48,11 @@ class Link {
   /// Earliest time service may start (radio promotion gate). Also informs the
   /// gate that traffic is flowing (refreshes inactivity timers).
   using GateFn = std::function<sim::TimePoint(sim::TimePoint now)>;
+  /// Ingress interceptor (middlebox). Receives every packet offered to the
+  /// link *before* queueing/serialization, so a mangled packet serializes at
+  /// its post-mangle wire size. The interceptor forwards (possibly other)
+  /// packets via send_direct(), or swallows them.
+  using IngressFn = std::function<void(PacketPtr)>;
 
   Link(sim::Simulation& sim, Config config, DeliverFn deliver);
 
@@ -55,7 +60,13 @@ class Link {
   Link& operator=(const Link&) = delete;
 
   /// Offers a packet to the queue; drops (recycles) if the queue is full.
+  /// Routed through the ingress interceptor when one is installed.
   void send(PacketPtr p);
+
+  /// Offers a packet to the queue, bypassing the ingress interceptor.
+  void send_direct(PacketPtr p);
+
+  void set_ingress(IngressFn f) { ingress_ = std::move(f); }
 
   void set_loss_model(std::unique_ptr<LossModel> m) { loss_ = std::move(m); }
   /// Replaces the queue discipline (default: DropTailQueue of
@@ -83,6 +94,7 @@ class Link {
   RateFn rate_fn_;
   ExtraDelayFn extra_delay_fn_;
   GateFn gate_fn_;
+  IngressFn ingress_;
   std::function<void(const Packet&)> drop_observer_;
 
   std::unique_ptr<QueueDiscipline> queue_;

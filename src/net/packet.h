@@ -76,6 +76,18 @@ struct MpPrioOption {
   bool backup{true};
 };
 
+/// MP_FAIL (RFC 6824 §3.6): a DSS-checksum failure was detected; `dsn` is
+/// the data-level sequence from which the sender must resend. With
+/// `subflow_closed` the option rides an RST closing the offending subflow
+/// (more subflows remain); without it the connection falls back to an
+/// infinite mapping on its last subflow. The option is sticky at the sender
+/// until data-level progress passes `dsn`, so a lost packet cannot strand
+/// the fallback.
+struct MpFailOption {
+  std::uint64_t dsn{0};
+  bool subflow_closed{false};
+};
+
 /// DSS: data sequence signal. Maps this segment's payload into the MPTCP
 /// data-level sequence space and acknowledges data-level progress.
 struct DssOption {
@@ -84,7 +96,23 @@ struct DssOption {
   std::uint64_t data_ack{0};      // cumulative data-level ack
   bool has_data_ack{false};
   bool data_fin{false};
+  /// RFC 6824 §3.3 DSS checksum over the mapping (optional; 2 wire bytes
+  /// when present). Payload is a byte count in this model, so the checksum
+  /// is a structural digest of (dsn, length); a corrupting middlebox mangles
+  /// the stored value instead of the bytes it covers.
+  std::uint16_t checksum{0};
+  bool has_checksum{false};
 };
+
+/// The checksum a sender computes for a DSS mapping (see DssOption). A
+/// splitmix-style mix so adjacent mappings never collide by accident.
+[[nodiscard]] constexpr std::uint16_t dss_checksum(std::uint64_t dsn, std::uint32_t length) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ dsn;
+  h = (h ^ (h >> 29)) * 0xbf58476d1ce4e5b9ULL;
+  h ^= length;
+  h = (h ^ (h >> 32)) * 0x94d049bb133111ebULL;
+  return static_cast<std::uint16_t>(h ^ (h >> 16));
+}
 
 /// Real TCP option space caps SACK at 3-4 blocks (40 bytes of options, 8 per
 /// block); the extra slot leaves room for a DSACK block ahead of 3 merged
@@ -107,6 +135,7 @@ struct TcpSegment {
   std::optional<AddAddrOption> add_addr;
   std::optional<RemoveAddrOption> remove_addr;
   std::optional<MpPrioOption> mp_prio;
+  std::optional<MpFailOption> mp_fail;
   std::optional<DssOption> dss;
 
   [[nodiscard]] bool has(TcpFlags f) const { return (flags & f) != 0; }
@@ -151,7 +180,8 @@ struct Packet {
     if (tcp.add_addr) options += 8;
     if (tcp.remove_addr) options += 4;
     if (tcp.mp_prio) options += 4;
-    if (tcp.dss) options += 20;
+    if (tcp.mp_fail) options += 12;
+    if (tcp.dss) options += tcp.dss->has_checksum ? 22 : 20;
     return payload_bytes + 40 + options;
   }
 

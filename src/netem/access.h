@@ -21,6 +21,7 @@
 #include "netem/arq.h"
 #include "netem/background.h"
 #include "netem/energy.h"
+#include "netem/middlebox.h"
 #include "netem/rate_process.h"
 #include "netem/rrc.h"
 #include "sim/simulation.h"
@@ -123,6 +124,20 @@ class AccessNetwork {
   void set_loss_override(const net::GilbertElliottLoss::Params& params);
   void clear_loss_override();
 
+  /// Middlebox interposed on both directions of this access network.
+  /// Created lazily so an untouched access path keeps a zero-overhead
+  /// ingress (bit-identical to builds without middlebox support).
+  [[nodiscard]] Middlebox& middlebox() {
+    if (!mbox_) {
+      mbox_ = std::make_unique<Middlebox>(sim_, profile_.name);
+      mbox_->attach_uplink(*up_);
+      mbox_->attach_downlink(*down_);
+    }
+    return *mbox_;
+  }
+  [[nodiscard]] bool has_middlebox() const { return mbox_ != nullptr; }
+  [[nodiscard]] const Middlebox* middlebox_if() const { return mbox_.get(); }
+
  private:
   void install_loss_models();
 
@@ -134,6 +149,7 @@ class AccessNetwork {
   std::optional<net::GilbertElliottLoss::Params> loss_override_;
   std::unique_ptr<net::Link> up_;
   std::unique_ptr<net::Link> down_;
+  std::unique_ptr<Middlebox> mbox_;
   std::unique_ptr<RateProcess> down_rate_;
   std::unique_ptr<RateProcess> up_rate_;
   std::unique_ptr<ArqDelayModel> arq_down_;

@@ -1,5 +1,6 @@
 #include "netem/faults.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <utility>
@@ -28,6 +29,7 @@ std::string to_string(FaultEvent::Kind k) {
     case FaultEvent::Kind::kLossClear: return "lossclear";
     case FaultEvent::Kind::kIfaceDown: return "ifdown";
     case FaultEvent::Kind::kIfaceUp: return "ifup";
+    case FaultEvent::Kind::kMiddlebox: return "mbox";
   }
   return "?";
 }
@@ -93,6 +95,28 @@ FaultSchedule& FaultSchedule::iface_up(double at_s, std::string link) {
               .kind = FaultEvent::Kind::kIfaceUp});
 }
 
+FaultSchedule& FaultSchedule::middlebox(double at_s, std::string link, std::string spec,
+                                        double a) {
+  return add({.at = sim::Duration::from_seconds(at_s),
+              .link = std::move(link),
+              .kind = FaultEvent::Kind::kMiddlebox,
+              .a = a,
+              .arg = std::move(spec)});
+}
+
+std::vector<std::string> FaultSchedule::unknown_links(
+    std::initializer_list<std::string_view> known) const {
+  std::vector<std::string> out;
+  for (const FaultEvent& ev : events_) {
+    const bool bound = std::any_of(known.begin(), known.end(),
+                                   [&](std::string_view k) { return ev.link == k; });
+    if (!bound && std::find(out.begin(), out.end(), ev.link) == out.end()) {
+      out.push_back(ev.link);
+    }
+  }
+  return out;
+}
+
 FaultSchedule FaultSchedule::parse(std::istream& in, std::string* error) {
   auto fail = [&](int line_no, const std::string& what) {
     if (error != nullptr) *error = "line " + std::to_string(line_no) + ": " + what;
@@ -114,6 +138,12 @@ FaultSchedule FaultSchedule::parse(std::istream& in, std::string* error) {
     std::string link, action;
     if (!(tok >> link >> action)) return fail(line_no, "expected '<time_s> <link> <action>'");
     if (at_s < 0) return fail(line_no, "negative event time");
+
+    // "mbox" takes a textual subcommand before its numeric arguments.
+    std::string sub;
+    if (action == "mbox" && !(tok >> sub)) {
+      return fail(line_no, "mbox needs a subcommand (strip_syn, nat_seq, split, ...)");
+    }
 
     std::vector<double> args;
     for (double v = 0; tok >> v;) args.push_back(v);
@@ -151,6 +181,24 @@ FaultSchedule FaultSchedule::parse(std::istream& in, std::string* error) {
     } else if (action == "ifup") {
       if (!need(0)) return fail(line_no, "ifup takes no arguments");
       out.iface_up(at_s, link);
+    } else if (action == "mbox") {
+      if (sub == "strip_syn" || sub == "strip_join" || sub == "strip_all" || sub == "off") {
+        if (!need(0)) return fail(line_no, "mbox " + sub + " takes no arguments");
+        out.middlebox(at_s, link, sub);
+      } else if (sub == "nat_seq") {
+        if (!need(1) || args[0] < 0) return fail(line_no, "mbox nat_seq needs an offset >= 0");
+        out.middlebox(at_s, link, sub, args[0]);
+      } else if (sub == "split" || sub == "corrupt") {
+        if (!need(1) || args[0] < 1) {
+          return fail(line_no, "mbox " + sub + " needs an every-n count >= 1");
+        }
+        out.middlebox(at_s, link, sub, args[0]);
+      } else if (sub == "coalesce") {
+        if (!need(1) || args[0] < 0) return fail(line_no, "mbox coalesce needs hold ms >= 0");
+        out.middlebox(at_s, link, sub, args[0]);
+      } else {
+        return fail(line_no, "unknown mbox subcommand '" + sub + "'");
+      }
     } else {
       return fail(line_no, "unknown action '" + action + "'");
     }
@@ -182,6 +230,13 @@ void FaultInjector::install(const FaultSchedule& schedule) {
   for (const FaultEvent& ev : schedule.events()) {
     const std::size_t i = installed_.size();
     installed_.push_back(ev);
+    if (ev.kind == FaultEvent::Kind::kMiddlebox && ev.at <= sim::Duration{}) {
+      // A middlebox present "from the start" must intercept the very first
+      // SYN. Endpoints send that SYN synchronously from connect(), before the
+      // event queue runs, so a t=0 queue event would attach the box too late.
+      apply(installed_[i]);
+      continue;
+    }
     sim_.at(origin + ev.at, [this, i] { apply(installed_[i]); });
   }
 }
@@ -223,6 +278,27 @@ void FaultInjector::apply(const FaultEvent& ev) {
       a.set_down(false);
       if (on_iface_up) on_iface_up(ev.link);
       break;
+    case FaultEvent::Kind::kMiddlebox: {
+      Middlebox& m = a.middlebox();
+      if (ev.arg == "strip_syn") {
+        m.set_strip(Middlebox::Strip::kSyn);
+      } else if (ev.arg == "strip_join") {
+        m.set_strip(Middlebox::Strip::kJoin);
+      } else if (ev.arg == "strip_all") {
+        m.set_strip(Middlebox::Strip::kAll);
+      } else if (ev.arg == "nat_seq") {
+        m.set_nat_seq(static_cast<std::uint64_t>(ev.a));
+      } else if (ev.arg == "split") {
+        m.set_split_every(static_cast<std::uint32_t>(ev.a));
+      } else if (ev.arg == "coalesce") {
+        m.set_coalesce_hold(sim::Duration::from_millis(ev.a));
+      } else if (ev.arg == "corrupt") {
+        m.set_corrupt_every(static_cast<std::uint32_t>(ev.a));
+      } else if (ev.arg == "off") {
+        m.reset_behaviour();
+      }
+      break;
+    }
   }
   ++applied_;
 }

@@ -13,6 +13,10 @@
 //   * ifdown / ifup         — interface removal/return: blackout plus a
 //                             notification the harness turns into
 //                             REMOVE_ADDR / re-join at the MPTCP client
+//   * mbox <sub>            — middlebox interference on the link
+//                             (netem::Middlebox): strip_syn | strip_join |
+//                             strip_all | nat_seq <off> | split <n> |
+//                             coalesce <hold_ms> | corrupt <n> | off
 //
 // Schedules are plain data (value type) and are replayed per run on that
 // run's simulation clock, so the PR 1 determinism guarantee holds: the same
@@ -30,12 +34,16 @@
 //   9.0       wifi  lossclear
 //   20.0      wifi  ifdown
 //   30.0      wifi  ifup
+//   0.0       wifi  mbox strip_syn
+//   0.0       cell  mbox corrupt 4
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <initializer_list>
 #include <istream>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -54,12 +62,14 @@ struct FaultEvent {
     kLossClear,  // end a kBurstLoss episode
     kIfaceDown,  // interface removal: outage + on_iface_down notification
     kIfaceUp,    // interface return: restore + on_iface_up notification
+    kMiddlebox,  // configure the link's netem::Middlebox (`arg` = subcommand)
   };
 
   sim::Duration at;  // relative to FaultInjector::install()
   std::string link;  // schedule-level link name ("wifi", "cell", ...)
   Kind kind{Kind::kOutage};
   double a{0}, b{0}, c{0}, d{0};
+  std::string arg{};  // kMiddlebox subcommand (strip_syn, nat_seq, ...)
 };
 
 [[nodiscard]] std::string to_string(FaultEvent::Kind k);
@@ -82,6 +92,9 @@ class FaultSchedule {
   FaultSchedule& loss_clear(double at_s, std::string link);
   FaultSchedule& iface_down(double at_s, std::string link);
   FaultSchedule& iface_up(double at_s, std::string link);
+  /// `spec` is an mbox subcommand (strip_syn | strip_join | strip_all |
+  /// nat_seq | split | coalesce | corrupt | off); `a` its numeric argument.
+  FaultSchedule& middlebox(double at_s, std::string link, std::string spec, double a = 0);
 
   [[nodiscard]] const std::vector<FaultEvent>& events() const { return events_; }
   [[nodiscard]] bool empty() const { return events_.empty(); }
@@ -93,6 +106,12 @@ class FaultSchedule {
   [[nodiscard]] static FaultSchedule parse(std::istream& in, std::string* error = nullptr);
   [[nodiscard]] static FaultSchedule parse_file(const std::string& path,
                                                std::string* error = nullptr);
+
+  /// Link names this schedule references that are not in `known` (after the
+  /// usual aliasing, e.g. "cellular" -> "cell"). A harness should treat a
+  /// non-empty result as a scenario error, not a silent typo.
+  [[nodiscard]] std::vector<std::string> unknown_links(
+      std::initializer_list<std::string_view> known) const;
 
  private:
   std::vector<FaultEvent> events_;

@@ -26,6 +26,24 @@ struct SimStats {
   /// Resident bytes held by the pool's packet storage.
   std::uint64_t pool_bytes{0};
 
+  // Robustness telemetry (middlebox interference + RFC 6824 fallback).
+  /// Connection endpoints that fell back to plain single-path TCP (client
+  /// and server count separately; a fully fallen-back run reports 2).
+  std::uint64_t fallback_plain_tcp{0};
+  /// Endpoints that switched to the §3.7 infinite mapping.
+  std::uint64_t fallback_infinite_mapping{0};
+  /// DSS checksum verification failures at the receivers.
+  std::uint64_t checksum_failures{0};
+  /// Distinct MP_FAIL signals sent (sticky retransmissions not counted).
+  std::uint64_t mp_fail_events{0};
+  /// MP_JOIN subflows refused (stripped handshake or post-fallback join).
+  std::uint64_t join_refusals{0};
+  /// MPTCP options removed in transit by middlebox emulation.
+  std::uint64_t middlebox_options_stripped{0};
+  /// Packets otherwise mangled by middleboxes (NAT seq rewrites, splits,
+  /// coalesces, payload corruptions).
+  std::uint64_t middlebox_packets_mangled{0};
+
   /// Fraction of packet acquisitions served without heap allocation.
   [[nodiscard]] double pool_reuse_rate() const {
     const std::uint64_t total = pool_allocated_packets + pool_reused_packets;

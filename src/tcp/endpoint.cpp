@@ -241,6 +241,7 @@ void TcpEndpoint::maybe_send_fin() {
   unacked_.emplace(seq, seg);
   snd_nxt_ += 1;
   fin_sent_ = true;
+  fin_seq_ = seq;
 
   net::PacketPtr p = make_packet(net::kFlagFin | net::kFlagAck, seq, 0);
   decorate_outgoing(*p);
@@ -253,6 +254,19 @@ void TcpEndpoint::maybe_send_fin() {
 // Packet reception.
 
 void TcpEndpoint::on_packet(net::PacketPtr p) {
+  if (p->tcp.has(net::kFlagRst)) {
+    if (state_ == TcpState::kClosed || state_ == TcpState::kDone) return;
+    const bool during_handshake =
+        state_ == TcpState::kSynSent || state_ == TcpState::kSynReceived;
+    cancel_rto();
+    cancel_delack();
+    // Closed before option processing: anything the reset triggers at the
+    // MPTCP layer (reinjection pumps) must skip this endpoint.
+    state_ = TcpState::kClosed;
+    process_options(*p);
+    handle_reset(during_handshake);
+    return;
+  }
   switch (state_) {
     case TcpState::kClosed:
     case TcpState::kDone:
@@ -379,6 +393,7 @@ void TcpEndpoint::process_ack_side(const net::Packet& p) {
     update_loss_marks();
     restart_rto_if_needed();
     pump();
+    handle_forward_ack();
     return;
   }
 
@@ -469,10 +484,7 @@ void TcpEndpoint::process_data_side(const net::Packet& p) {
     ++metrics_.data_packets_received;
     need_ack = true;
     if (seq == rcv_nxt_) {
-      metrics_.bytes_received += p.payload_bytes;
-      metrics_.last_data_rx_time = sim().now();
-      handle_data(seq - 1, p.payload_bytes, p.tcp.dss);
-      rcv_nxt_ += p.payload_bytes;
+      deliver_from(seq, p.payload_bytes, p.tcp.dss);
       deliver_in_order();
     } else if (seq > rcv_nxt_) {
       ++metrics_.out_of_order_packets;
@@ -481,6 +493,13 @@ void TcpEndpoint::process_data_side(const net::Packet& p) {
         ooo_.emplace(seq, RxSeg{p.payload_bytes, p.tcp.dss});
         ooo_bytes_ += p.payload_bytes;
       }
+    } else if (seq + p.payload_bytes > rcv_nxt_) {
+      // Partial overlap: a middlebox re-segmented the stream, so this
+      // (re)transmission straddles the receive edge. Deliver the fresh tail —
+      // treating it as a stale duplicate would discard those bytes forever
+      // and wedge the sender in an RTO loop.
+      deliver_from(seq, p.payload_bytes, p.tcp.dss);
+      deliver_in_order();
     } else {
       out_of_order = true;  // stale duplicate: ack immediately, report DSACK
       if (config_.sack_enabled) {
@@ -509,14 +528,39 @@ void TcpEndpoint::process_data_side(const net::Packet& p) {
 void TcpEndpoint::deliver_in_order() {
   while (!ooo_.empty()) {
     auto it = ooo_.begin();
-    if (it->first != rcv_nxt_) break;
-    metrics_.bytes_received += it->second.len;
-    metrics_.last_data_rx_time = sim().now();
-    handle_data(it->first - 1, it->second.len, it->second.dss);
-    rcv_nxt_ += it->second.len;
-    ooo_bytes_ -= it->second.len;
+    const std::uint64_t seg_end = it->first + it->second.len;
+    if (seg_end <= rcv_nxt_) {
+      // Fully superseded by an overlapping (re-segmented) delivery; a stale
+      // head entry must not block the rest of the queue.
+      ooo_bytes_ -= it->second.len;
+      ooo_.erase(it);
+      continue;
+    }
+    if (it->first > rcv_nxt_) break;
+    const std::uint64_t seq = it->first;
+    const RxSeg seg = it->second;
+    ooo_bytes_ -= seg.len;
     ooo_.erase(it);
+    deliver_from(seq, seg.len, seg.dss);
   }
+}
+
+void TcpEndpoint::deliver_from(std::uint64_t seq, std::uint32_t len,
+                               std::optional<net::DssOption> dss) {
+  const auto skip = static_cast<std::uint32_t>(rcv_nxt_ - seq);
+  if (skip > 0 && dss && dss->length > 0) {
+    // The DSS mapping covered the original segment; advance it past the
+    // already-delivered prefix. Its checksum spanned the whole mapping and
+    // cannot be verified against a fragment, so it no longer applies.
+    dss->dsn += skip;
+    dss->length = dss->length > skip ? dss->length - skip : 0;
+    dss->has_checksum = false;
+  }
+  const std::uint32_t fresh = len - skip;
+  metrics_.bytes_received += fresh;
+  metrics_.last_data_rx_time = sim().now();
+  handle_data(rcv_nxt_ - 1, fresh, dss);
+  rcv_nxt_ += fresh;
 }
 
 void TcpEndpoint::handle_data(std::uint64_t offset, std::uint32_t len,
@@ -545,10 +589,19 @@ void TcpEndpoint::ack_received_data(bool out_of_order) {
 }
 
 void TcpEndpoint::send_ack_now() {
+  // A subflow may be aborted synchronously from inside its own handle_data
+  // (checksum-failure teardown); the pending ACK must then die with it.
+  if (state_ == TcpState::kClosed || state_ == TcpState::kDone) return;
   if (quickack_left_ > 0) --quickack_left_;
   segs_since_ack_ = 0;
   cancel_delack();
   net::PacketPtr p = make_packet(net::kFlagAck, snd_nxt_, 0);
+  decorate_outgoing(*p);
+  host_.send(std::move(p));
+}
+
+void TcpEndpoint::send_reset() {
+  net::PacketPtr p = make_packet(net::kFlagRst | net::kFlagAck, snd_nxt_, 0);
   decorate_outgoing(*p);
   host_.send(std::move(p));
 }

@@ -109,8 +109,21 @@ class TcpEndpoint : public FlowCc {
   void pump();
 
   /// Sends a bare ACK immediately (also used to carry MPTCP signals such as
-  /// ADD_ADDR and data-level acks).
+  /// ADD_ADDR and data-level acks). No-op once the endpoint is closed.
   void send_ack_now();
+
+  /// Sends an RST for this flow (refused join, checksum-failure teardown).
+  /// The caller decides what to do with the local state (usually abort()).
+  void send_reset();
+
+  /// Cumulatively acked bytes of the outgoing *stream* (sequence space minus
+  /// SYN/FIN). Lets a plain-TCP-fallback MPTCP connection track data-level
+  /// progress without DSS data-acks.
+  [[nodiscard]] std::uint64_t stream_acked_bytes() const {
+    std::uint64_t upper = snd_una_;
+    if (fin_sent_ && upper > fin_seq_) upper = fin_seq_;
+    return upper > 0 ? upper - 1 : 0;
+  }
 
   /// Data-level mappings of segments sent but not yet cumulatively acked
   /// (for MPTCP reinjection after a subflow stalls).
@@ -147,6 +160,14 @@ class TcpEndpoint : public FlowCc {
   /// Hook: active open gave up (SYN retries exhausted, state is kClosed).
   /// MPTCP uses this to retry lost MP_JOINs with its own backoff.
   virtual void handle_connect_failed() {}
+  /// Hook: peer sent RST; state is already kClosed and timers cancelled.
+  /// Default treats a handshake-time reset like a failed connect.
+  virtual void handle_reset(bool during_handshake) {
+    if (during_handshake) handle_connect_failed();
+  }
+  /// Hook: a forward (snd_una-advancing) ACK finished processing. The
+  /// plain-TCP-fallback MPTCP connection derives data-level progress here.
+  virtual void handle_forward_ack() {}
   /// Hook: receive window to advertise. Default: subflow-local buffer.
   /// MPTCP subflows advertise the connection-level window instead.
   [[nodiscard]] virtual std::uint64_t advertised_window() const;
@@ -212,6 +233,11 @@ class TcpEndpoint : public FlowCc {
 
   void become_established();
   void deliver_in_order();
+  /// Deliver the not-yet-received tail of a segment starting at `seq`
+  /// (precondition: seq <= rcv_nxt_ < seq + len). A trim only happens when a
+  /// middlebox re-segmented the stream so that retransmissions no longer line
+  /// up with the receiver's edge; plain runs always hit the skip == 0 path.
+  void deliver_from(std::uint64_t seq, std::uint32_t len, std::optional<net::DssOption> dss);
 
   net::Host& host_;
   net::SocketAddr local_;
@@ -248,6 +274,7 @@ class TcpEndpoint : public FlowCc {
   std::uint64_t app_pending_{0};
   bool fin_requested_{false};
   bool fin_sent_{false};
+  std::uint64_t fin_seq_{0};  // sequence our FIN occupies (once sent)
   int syn_retries_{0};
   std::uint32_t consecutive_timeouts_{0};
   bool pumping_{false};

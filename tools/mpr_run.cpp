@@ -16,6 +16,11 @@
 //   --backup   join cellular in backup mode
 //   --codel    CoDel on the cellular downlink
 //   --scenario fault-schedule file applied to every rep (see netem/faults.h)
+//   --checksum       enable the RFC 6824 §3.3 DSS checksum
+//   --no-fallback    refuse plain-TCP fallback (stripped handshakes fail)
+//   --teardown       tear down the connection on a checksum failure
+//   --max-sim-time   watchdog: abort after this much simulated time (seconds)
+//   --max-events     watchdog: abort after this many simulator events
 //   --reps     repetitions (default 1)
 //   --jobs     worker threads for the reps (default MPR_JOBS, else all cores)
 //   --json     machine-readable output
@@ -55,12 +60,14 @@ core::CcKind parse_cc(const std::string& s) {
 
 void print_json(const RunResult& r) {
   std::printf(
-      "{\"completed\":%s,\"download_time_s\":%.6f,\"cellular_fraction\":%.4f,"
+      "{\"completed\":%s,\"outcome\":\"%s\",\"download_time_s\":%.6f,"
+      "\"cellular_fraction\":%.4f,"
       "\"wifi\":{\"bytes\":%llu,\"loss\":%.5f,\"rtt_samples\":%zu},"
       "\"cellular\":{\"bytes\":%llu,\"loss\":%.5f,\"rtt_samples\":%zu},"
       "\"energy_j\":{\"wifi\":%.3f,\"cellular\":%.3f},"
       "\"reinjections\":%llu,\"penalizations\":%llu}\n",
-      r.completed ? "true" : "false", r.download_time_s, r.cellular_fraction(),
+      r.completed ? "true" : "false", to_string(r.outcome).c_str(), r.download_time_s,
+      r.cellular_fraction(),
       static_cast<unsigned long long>(r.wifi.bytes_received), r.wifi.loss_rate(),
       r.wifi.rtt_ms.size(), static_cast<unsigned long long>(r.cellular.bytes_received),
       r.cellular.loss_rate(), r.cellular.rtt_ms.size(), r.wifi_energy_j, r.cellular_energy_j,
@@ -71,6 +78,19 @@ void print_json(const RunResult& r) {
 void print_text(const RunResult& r) {
   std::printf("completed:        %s\n",
               r.completed ? "yes" : (r.failed ? "NO (connection failed)" : "NO (timeout)"));
+  std::printf("outcome:          %s\n", to_string(r.outcome).c_str());
+  if (r.sim_stats.fallback_plain_tcp > 0 || r.sim_stats.fallback_infinite_mapping > 0) {
+    std::printf("fallback:         plain_tcp=%llu infinite_mapping=%llu\n",
+                static_cast<unsigned long long>(r.sim_stats.fallback_plain_tcp),
+                static_cast<unsigned long long>(r.sim_stats.fallback_infinite_mapping));
+  }
+  if (r.sim_stats.middlebox_options_stripped > 0 ||
+      r.sim_stats.middlebox_packets_mangled > 0) {
+    std::printf("middlebox:        stripped=%llu mangled=%llu checksum_failures=%llu\n",
+                static_cast<unsigned long long>(r.sim_stats.middlebox_options_stripped),
+                static_cast<unsigned long long>(r.sim_stats.middlebox_packets_mangled),
+                static_cast<unsigned long long>(r.sim_stats.checksum_failures));
+  }
   std::printf("download time:    %.3f s\n", r.download_time_s);
   std::printf("cellular share:   %.1f%%\n", r.cellular_fraction() * 100);
   std::printf("wifi:             %llu bytes, loss %.2f%%\n",
@@ -112,11 +132,31 @@ int main(int argc, char** argv) {
   rc.simultaneous_syns = flags.get_bool("simsyn");
   rc.cellular_backup = flags.get_bool("backup");
 
+  rc.dss_checksum = flags.get_bool("checksum");
+  rc.checksum_teardown = flags.get_bool("teardown");
+  rc.tcp_fallback = !flags.get_bool("no-fallback");
+  if (const long long cap = flags.get_int("max-events", 0); cap > 0) {
+    rc.max_events = static_cast<std::uint64_t>(cap);
+  }
+  if (const std::string t = flags.get("max-sim-time", ""); !t.empty()) {
+    rc.max_sim_time = sim::Duration::from_seconds(std::stod(t));
+  }
+
   if (const std::string scenario = flags.get("scenario", ""); !scenario.empty()) {
     std::string error;
     rc.faults = netem::FaultSchedule::parse_file(scenario, &error);
     if (!error.empty()) {
       std::fprintf(stderr, "mpr_run: --scenario %s: %s\n", scenario.c_str(), error.c_str());
+      return 1;
+    }
+    // The testbed binds exactly two links; a typo'd link name would make the
+    // schedule a silent no-op, so fail loudly instead.
+    const std::vector<std::string> unbound = rc.faults.unknown_links({"wifi", "cell"});
+    if (!unbound.empty()) {
+      for (const std::string& l : unbound) {
+        std::fprintf(stderr, "mpr_run: --scenario %s: unknown link '%s' (bound: wifi, cell)\n",
+                     scenario.c_str(), l.c_str());
+      }
       return 1;
     }
   }
