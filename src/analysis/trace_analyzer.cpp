@@ -21,7 +21,9 @@ TcptraceAnalyzer::TcptraceAnalyzer(const PacketTrace& trace) {
     // Sequence ranges ever retransmitted (Karn: exclude from sampling).
     std::map<std::uint64_t, std::uint64_t> rexmitted;  // seq -> end
   };
-  std::unordered_map<net::FlowKey, Work> work;
+  // Ordered: the final sweep below fixes reports_/index_ ordering, which is
+  // part of the analyzer's observable output (mpr-lint unordered-iter).
+  std::map<net::FlowKey, Work> work;
 
   for (const TraceRecord& r : trace.records()) {
     if (r.kind == net::TraceEvent::Kind::kSend && r.payload > 0) {

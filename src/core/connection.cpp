@@ -53,7 +53,13 @@ MptcpConnection::MptcpConnection(net::Host& host, MptcpConfig config,
       rx_{config.receive_buffer} {
   assert(!local_addrs_.empty());
   known_remote_addrs_.push_back(server.addr);
+#if MPR_AUDIT
+  audit_ = &host_.sim().service<check::Auditor>().make_conn(local_key_);
+#endif
   rx_.on_deliver = [this](std::uint64_t dsn, std::uint32_t len) {
+#if MPR_AUDIT
+    audit_->on_deliver(dsn, len, host_.sim().now().ns());
+#endif
     if (on_data) on_data(dsn, len);
     if (data_fin_dsn_ && rx_.rcv_nxt() >= *data_fin_dsn_ && !data_fin_delivered_) {
       data_fin_delivered_ = true;
@@ -79,7 +85,13 @@ MptcpConnection::MptcpConnection(net::Host& host, MptcpConfig config,
   known_remote_addrs_.push_back(capable_syn.src);
   local_addrs_ = host.addrs();
   first_syn_time_ = host.sim().now();
+#if MPR_AUDIT
+  audit_ = &host_.sim().service<check::Auditor>().make_conn(local_key_);
+#endif
   rx_.on_deliver = [this](std::uint64_t dsn, std::uint32_t len) {
+#if MPR_AUDIT
+    audit_->on_deliver(dsn, len, host_.sim().now().ns());
+#endif
     if (on_data) on_data(dsn, len);
     if (data_fin_dsn_ && rx_.rcv_nxt() >= *data_fin_dsn_ && !data_fin_delivered_) {
       data_fin_delivered_ = true;
@@ -298,6 +310,10 @@ std::optional<tcp::TcpEndpoint::Chunk> MptcpConnection::next_chunk_for(
     tcp::TcpEndpoint::Chunk chunk;
     chunk.len = len;
     chunk.dsn = data_snd_nxt_;
+#if MPR_AUDIT
+    audit_->on_send_chunk(*chunk.dsn, len, /*reinject=*/false, sf.id(),
+                          host_.sim().now().ns());
+#endif
     data_snd_nxt_ += len;
     app_pending_ -= len;
     if (data_fin_requested_ && app_pending_ == 0) data_fin_sent_ = true;
@@ -331,6 +347,10 @@ std::optional<tcp::TcpEndpoint::Chunk> MptcpConnection::next_chunk_for(
       it->len -= max_len;
     }
     ++reinjected_chunks_;
+#if MPR_AUDIT
+    audit_->on_send_chunk(*chunk.dsn, chunk.len, /*reinject=*/true, sf.id(),
+                          host_.sim().now().ns());
+#endif
     return chunk;
   }
 
@@ -351,6 +371,10 @@ std::optional<tcp::TcpEndpoint::Chunk> MptcpConnection::next_chunk_for(
   tcp::TcpEndpoint::Chunk chunk;
   chunk.len = len;
   chunk.dsn = data_snd_nxt_;
+#if MPR_AUDIT
+  audit_->on_send_chunk(*chunk.dsn, len, /*reinject=*/false, sf.id(),
+                        host_.sim().now().ns());
+#endif
   data_snd_nxt_ += len;
   app_pending_ -= len;
   if (data_fin_requested_ && app_pending_ == 0) {
@@ -362,6 +386,9 @@ std::optional<tcp::TcpEndpoint::Chunk> MptcpConnection::next_chunk_for(
 
 void MptcpConnection::on_data_ack(std::uint64_t data_ack) {
   if (data_ack <= data_una_) return;
+#if MPR_AUDIT
+  audit_->on_data_ack(data_ack, host_.sim().now().ns());
+#endif
   maybe_start_joins();
   data_una_ = data_ack;
   dead_since_.reset();  // data-level progress: some path works
@@ -553,8 +580,26 @@ MptcpSubflow* MptcpConnection::other_live_subflow(const MptcpSubflow& sf) const 
   return nullptr;
 }
 
+void MptcpConnection::set_fallback(FallbackKind next) {
+#if MPR_AUDIT
+  // Fallback is one-way (RFC 6824 §3.7): a connection leaves kNone at most
+  // once and never converts between the two fallback kinds.
+  static const check::TransitionAudit kFallbackTransitions{
+      "mptcp.fallback_transition",
+      {"None", "PlainTcp", "InfiniteMapping"},
+      {
+          {static_cast<int>(FallbackKind::kNone), static_cast<int>(FallbackKind::kPlainTcp)},
+          {static_cast<int>(FallbackKind::kNone),
+           static_cast<int>(FallbackKind::kInfiniteMapping)},
+      }};
+  kFallbackTransitions.on_transition(static_cast<int>(fallback_), static_cast<int>(next),
+                                     local_key_, /*subflow=*/-1, host_.sim().now().ns());
+#endif
+  fallback_ = next;
+}
+
 void MptcpConnection::enter_plain_fallback(MptcpSubflow& sf) {
-  fallback_ = FallbackKind::kPlainTcp;
+  set_fallback(FallbackKind::kPlainTcp);
   fallback_counters_.plain_tcp = true;
   // The connection can never add subflows again; cancel all join machinery
   // and reset every other subflow (they are not part of a plain TCP
@@ -627,6 +672,9 @@ void MptcpConnection::on_subflow_reset(MptcpSubflow& sf, bool during_handshake) 
 
 void MptcpConnection::on_fallback_ack(std::uint64_t acked) {
   if (fallback_ != FallbackKind::kPlainTcp || acked <= data_una_) return;
+#if MPR_AUDIT
+  audit_->on_data_ack(acked, host_.sim().now().ns());
+#endif
   data_una_ = acked;
   dead_since_.reset();
   maybe_close_subflows();
@@ -665,7 +713,7 @@ void MptcpConnection::on_checksum_failure(MptcpSubflow& sf) {
   // stays attached until data progresses past the failed DSN, prompting the
   // peer to retransmit from there without checksums. No subflow can join a
   // fallen-back connection.
-  fallback_ = FallbackKind::kInfiniteMapping;
+  set_fallback(FallbackKind::kInfiniteMapping);
   fallback_counters_.infinite_mapping = true;
   joins_started_ = true;
   pending_mp_fail_ = fail_dsn;
@@ -681,7 +729,7 @@ void MptcpConnection::on_remote_mp_fail(MptcpSubflow& sf, std::uint64_t dsn,
   if (!subflow_closed && fallback_ != FallbackKind::kInfiniteMapping) {
     // The peer fell back to an infinite mapping on its last subflow; mirror
     // it so our own mappings turn linear too.
-    fallback_ = FallbackKind::kInfiniteMapping;
+    set_fallback(FallbackKind::kInfiniteMapping);
     fallback_counters_.infinite_mapping = true;
     joins_started_ = true;
   }

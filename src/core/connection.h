@@ -20,12 +20,14 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "check/audit.h"
 #include "core/coupled_cc.h"
 #include "core/reorder_buffer.h"
 #include "core/scheduler.h"
@@ -240,6 +242,9 @@ class MptcpConnection {
   [[nodiscard]] MptcpSubflow* other_live_subflow(const MptcpSubflow& sf) const;
   /// Close `sf` with MP_FAIL+RST and reinject its stranded data elsewhere.
   void close_subflow_with_mp_fail(MptcpSubflow& sf, std::uint64_t fail_dsn);
+  /// Single funnel for fallback-state changes; under MPR_AUDIT the
+  /// transition is validated (fallback is one-way, kNone -> one kind).
+  void set_fallback(FallbackKind next);
   [[nodiscard]] static std::uint64_t join_key(net::IpAddr local, net::IpAddr remote) {
     return (static_cast<std::uint64_t>(local.value) << 32) | remote.value;
   }
@@ -253,8 +258,10 @@ class MptcpConnection {
   std::vector<net::IpAddr> advertise_addrs_;  // server: extra NICs to announce
   bool add_addr_pending_{false};
   std::optional<net::RemoveAddrOption> remove_addr_pending_;
-  std::uint32_t remove_addr_generation_{0};           // sender side
-  std::unordered_map<net::IpAddr, std::uint32_t> remove_addr_seen_;  // receiver side
+  std::uint32_t remove_addr_generation_{0};  // sender side
+  // Ordered: iterated when replaying withdrawals, and iteration order feeds
+  // REMOVE_ADDR emission order (mpr-lint unordered-iter).
+  std::map<net::IpAddr, std::uint32_t> remove_addr_seen_;  // receiver side
 
   std::uint64_t local_key_{0};
   std::uint64_t remote_key_{0};
@@ -287,8 +294,10 @@ class MptcpConnection {
   /// dsn -> id of the subflow that most recently stranded it. A map (not a
   /// set) so that when the reinjection *target* dies too, the chunk is
   /// queued again instead of being dropped by the dedup check — a cascading
-  /// failure must not strand data permanently.
-  std::unordered_map<std::uint64_t, std::uint8_t> reinjected_dsns_;
+  /// failure must not strand data permanently. Ordered: erase_if sweeps on
+  /// data-ack progress must visit DSNs deterministically (mpr-lint
+  /// unordered-iter).
+  std::map<std::uint64_t, std::uint8_t> reinjected_dsns_;
   std::uint64_t reinjected_chunks_{0};
 
   bool established_{false};
@@ -304,7 +313,9 @@ class MptcpConnection {
     int attempts{0};
     sim::EventId timer{sim::kInvalidEventId};
   };
-  std::unordered_map<std::uint64_t, JoinRetryState> join_retries_;
+  // Ordered: iterated on address removal and teardown, where the order of
+  // cancelled timers must be deterministic (mpr-lint unordered-iter).
+  std::map<std::uint64_t, JoinRetryState> join_retries_;
 
   // Fallback state (RFC 6824 §3.6–§3.8).
   FallbackKind fallback_{FallbackKind::kNone};
@@ -324,6 +335,12 @@ class MptcpConnection {
   std::unordered_map<const MptcpSubflow*, sim::TimePoint> last_penalty_;
   std::uint64_t penalizations_{0};
   bool pumping_all_{false};
+
+#if MPR_AUDIT
+  /// DSN-space auditor; owned by the Simulation's check::Auditor service so
+  /// its check counts outlive the connection into SimStats.
+  check::ConnAudit* audit_{nullptr};
+#endif
 };
 
 }  // namespace mpr::core

@@ -47,6 +47,9 @@ class OliaCc final : public tcp::RenoFamilyCc {
 
  protected:
   double ca_increase_bytes(tcp::FlowCc& flow, std::uint64_t acked_bytes) override;
+  // OLIA's coupled term is bounded by 1/w_i and its alpha term by 0.5/w_i,
+  // so the per-ack increase can legitimately reach 1.5x the Reno reference.
+  [[nodiscard]] double ca_increase_cap_factor() const override { return 1.5; }
   void note_bytes_acked(tcp::FlowCc& flow, std::uint64_t acked) override;
   void note_loss(tcp::FlowCc& flow) override;
 

@@ -2,10 +2,61 @@
 
 #include <algorithm>
 
+#include "check/audit.h"
+
 namespace mpr::core {
+
+#if MPR_AUDIT
+namespace {
+// Structural invariants re-checked after every mutation: rcv_nxt never moves
+// backwards, held bytes stay within capacity, and the delivered-byte counter
+// tracks the in-order edge exactly (both start at DSN 0 and advance in
+// lockstep; a divergence means bytes were delivered twice or skipped).
+void audit_buffer(std::uint64_t rcv_nxt_before, std::uint64_t rcv_nxt,
+                  std::uint64_t buffered, std::uint64_t capacity,
+                  std::uint64_t delivered, std::int64_t time_ns) {
+  if (rcv_nxt < rcv_nxt_before) {
+    check::report({.rule = "rx.monotonic",
+                   .detail = "rcv_nxt moved backwards: " +
+                             std::to_string(rcv_nxt_before) + " -> " +
+                             std::to_string(rcv_nxt),
+                   .dsn = rcv_nxt,
+                   .time_ns = time_ns});
+  }
+  if (buffered > capacity) {
+    check::report({.rule = "rx.occupancy",
+                   .detail = std::to_string(buffered) +
+                             " bytes held above capacity " +
+                             std::to_string(capacity),
+                   .time_ns = time_ns});
+  }
+  if (delivered != rcv_nxt) {
+    check::report({.rule = "rx.accounting",
+                   .detail = "delivered_bytes " + std::to_string(delivered) +
+                             " != rcv_nxt " + std::to_string(rcv_nxt),
+                   .dsn = rcv_nxt,
+                   .time_ns = time_ns});
+  }
+  check::bump_checks();
+}
+}  // namespace
+#endif
 
 bool ReorderBuffer::insert(std::uint64_t dsn, std::uint32_t len, sim::TimePoint arrival,
                            std::uint8_t subflow_id) {
+#if MPR_AUDIT
+  const std::uint64_t rcv_nxt_before = rcv_nxt_;
+  const bool accepted = insert_impl(dsn, len, arrival, subflow_id);
+  audit_buffer(rcv_nxt_before, rcv_nxt_, buffered_bytes_, capacity_,
+               delivered_bytes_, arrival.ns());
+  return accepted;
+#else
+  return insert_impl(dsn, len, arrival, subflow_id);
+#endif
+}
+
+bool ReorderBuffer::insert_impl(std::uint64_t dsn, std::uint32_t len, sim::TimePoint arrival,
+                                std::uint8_t subflow_id) {
   if (len == 0) return true;
   if (dsn + len <= rcv_nxt_ || held_.contains(dsn)) {
     ++duplicates_;

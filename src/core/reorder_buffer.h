@@ -54,6 +54,9 @@ class ReorderBuffer {
   [[nodiscard]] std::uint64_t max_buffered_bytes() const { return max_buffered_; }
 
  private:
+  bool insert_impl(std::uint64_t dsn, std::uint32_t len, sim::TimePoint arrival,
+                   std::uint8_t subflow_id);
+
   struct Held {
     std::uint32_t len{0};
     sim::TimePoint arrival;

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "app/http.h"
+#include "check/audit.h"
 #include "netem/energy.h"
 
 namespace mpr::experiment {
@@ -231,6 +232,11 @@ RunResult run_download(const TestbedConfig& testbed_cfg, const RunConfig& run_cf
     result.sim_stats.pool_high_water = ps.high_water;
     result.sim_stats.pool_bytes = ps.bytes;
   }
+#if MPR_AUDIT
+  if (const check::Auditor* auditor = sim.find_service<check::Auditor>()) {
+    result.sim_stats.audit_checks = auditor->checks();
+  }
+#endif
   result.wifi_energy_j = wifi_meter.energy_joules_total();
   result.cellular_energy_j = cell_meter.energy_joules_total();
   result.download_time_s =

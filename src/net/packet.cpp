@@ -11,7 +11,7 @@ std::string to_string(const Packet& p) {
   if (p.tcp.has(kFlagAck)) flags += 'A';
   if (p.tcp.has(kFlagFin)) flags += 'F';
   if (p.tcp.has(kFlagRst)) flags += 'R';
-  if (flags.empty()) flags = ".";
+  if (flags.empty()) flags.push_back('.');  // assign-from-literal trips gcc-12 -Wrestrict
   std::snprintf(buf, sizeof buf, "%s:%u > %s:%u [%s] seq=%llu ack=%llu len=%u",
                 to_string(p.src).c_str(), p.tcp.src_port, to_string(p.dst).c_str(),
                 p.tcp.dst_port, flags.c_str(), static_cast<unsigned long long>(p.tcp.seq),

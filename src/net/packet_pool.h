@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/audit.h"
 #include "net/packet.h"
 
 namespace mpr::net {
@@ -93,6 +94,9 @@ class PacketPool {
   PacketPool(const PacketPool&) = delete;
   PacketPool& operator=(const PacketPool&) = delete;
   ~PacketPool() {
+#if MPR_AUDIT
+    ledger_.on_teardown();  // leak check; reports without throwing
+#endif
     total_allocs_.fetch_add(stats_allocs_, std::memory_order_relaxed);
     total_reuses_.fetch_add(stats_reuses_, std::memory_order_relaxed);
   }
@@ -113,6 +117,9 @@ class PacketPool {
       const std::uint64_t outstanding = storage_.size() - free_.size();
       if (outstanding > high_water_) high_water_ = outstanding;
     }
+#if MPR_AUDIT
+    ledger_.on_acquire(p);
+#endif
     return PacketPtr{p};
   }
 
@@ -120,6 +127,9 @@ class PacketPool {
   /// acquired from this pool and not already released.
   void release(Packet* p) {
     assert(p != nullptr && p->origin_pool == this);
+#if MPR_AUDIT
+    ledger_.on_release(p);  // throws on double-release before the freelist is corrupted
+#endif
     free_.push_back(p);
   }
 
@@ -144,6 +154,10 @@ class PacketPool {
   std::uint64_t stats_allocs_{0};
   std::uint64_t stats_reuses_{0};
   std::uint64_t high_water_{0};
+
+#if MPR_AUDIT
+  check::PoolLedger ledger_;
+#endif
 
   static std::atomic<std::uint64_t> total_allocs_;
   static std::atomic<std::uint64_t> total_reuses_;

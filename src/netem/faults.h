@@ -42,9 +42,9 @@
 #include <functional>
 #include <initializer_list>
 #include <istream>
+#include <map>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "netem/access.h"
@@ -147,7 +147,9 @@ class FaultInjector {
   void apply(const FaultEvent& ev);
 
   sim::Simulation& sim_;
-  std::unordered_map<std::string, AccessNetwork*> links_;
+  // Ordered: keeps any future link-set iteration (diagnostics, teardown)
+  // deterministic by name (mpr-lint unordered-iter).
+  std::map<std::string, AccessNetwork*, std::less<>> links_;
   /// Installed events, referenced by index from the scheduled actions — a
   /// FaultEvent is too large for the event queue's inline action storage.
   std::vector<FaultEvent> installed_;

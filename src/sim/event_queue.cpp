@@ -34,6 +34,14 @@ std::uint32_t EventQueue::acquire_slot(Action action) {
     const std::uint32_t slot = free_slots_.back();
     free_slots_.pop_back();
     Slot& s = slots_[slot];
+#if MPR_AUDIT
+    if (s.live) {
+      check::report({.rule = "event.slot_reuse",
+                     .detail = "free-list slot " + std::to_string(slot) +
+                               " still live on acquire",
+                     .time_ns = now_.ns()});
+    }
+#endif
     s.action = std::move(action);
     s.live = true;
     return slot;
@@ -105,12 +113,23 @@ bool EventQueue::step() {
     // events, which are free to reuse this slot immediately.
     Action action = std::move(s.action);
     release_slot(top.slot);
+#if MPR_AUDIT
+    clock_audit_.on_event(top.when.ns());
+#endif
     now_ = top.when;
     --live_count_;
     ++executed_;
     action();
     return true;
   }
+#if MPR_AUDIT
+  if (live_count_ != 0) {
+    check::report({.rule = "event.live_count",
+                   .detail = std::to_string(live_count_) +
+                             " live event(s) unaccounted for in a drained heap",
+                   .time_ns = now_.ns()});
+  }
+#endif
   return false;
 }
 

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/audit.h"
 #include "sim/inline_function.h"
 #include "sim/time.h"
 
@@ -112,6 +113,10 @@ class EventQueue {
   std::uint64_t next_seq_{0};
   std::size_t live_count_{0};
   std::uint64_t executed_{0};
+
+#if MPR_AUDIT
+  check::TimeMonotonicAudit clock_audit_;
+#endif
 
   static std::atomic<std::uint64_t> total_executed_;
 };

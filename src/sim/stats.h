@@ -44,6 +44,12 @@ struct SimStats {
   /// coalesces, payload corruptions).
   std::uint64_t middlebox_packets_mangled{0};
 
+  /// DSN-space invariant checks executed by the run's connections (0 unless
+  /// the build was configured with -DMPR_AUDIT=ON). A completed MPTCP run
+  /// with audit_checks == 0 under an audit build means the hooks were not
+  /// exercised — itself a red flag in audit CI.
+  std::uint64_t audit_checks{0};
+
   /// Fraction of packet acquisitions served without heap allocation.
   [[nodiscard]] double pool_reuse_rate() const {
     const std::uint64_t total = pool_allocated_packets + pool_reused_packets;

@@ -1,5 +1,7 @@
 #include "tcp/congestion.h"
 
+#include "check/audit.h"
+
 namespace mpr::tcp {
 
 void RenoFamilyCc::on_ack(FlowCc& flow, std::uint64_t acked_bytes) {
@@ -17,7 +19,16 @@ void RenoFamilyCc::on_ack(FlowCc& flow, std::uint64_t acked_bytes) {
     // Bytes beyond ssthresh continue in congestion avoidance below.
     acked_bytes = static_cast<std::uint64_t>(leftover);
   }
+#if MPR_AUDIT
+  const double inc = ca_increase_bytes(flow, acked_bytes);
+  const double reno_ref = static_cast<double>(flow.mss()) *
+                          static_cast<double>(acked_bytes) / flow.cwnd_bytes();
+  check::cc_aggregate_increase(inc, reno_ref, ca_increase_cap_factor());
+  flow.set_cwnd_bytes(flow.cwnd_bytes() + inc);
+  check::cc_bounds(flow.cwnd_bytes(), flow.ssthresh_bytes(), flow.mss());
+#else
   flow.set_cwnd_bytes(flow.cwnd_bytes() + ca_increase_bytes(flow, acked_bytes));
+#endif
 }
 
 void RenoFamilyCc::on_loss_event(FlowCc& flow) {
@@ -26,6 +37,9 @@ void RenoFamilyCc::on_loss_event(FlowCc& flow) {
   const double halved = std::max(flow.cwnd_bytes() / 2.0, floor);
   flow.set_ssthresh_bytes(static_cast<std::uint64_t>(halved));
   flow.set_cwnd_bytes(halved);
+#if MPR_AUDIT
+  check::cc_bounds(flow.cwnd_bytes(), flow.ssthresh_bytes(), flow.mss());
+#endif
 }
 
 void RenoFamilyCc::on_rto(FlowCc& flow) {
@@ -34,6 +48,9 @@ void RenoFamilyCc::on_rto(FlowCc& flow) {
       std::max(static_cast<double>(flow.bytes_in_flight()) / 2.0, 2.0 * flow.mss());
   flow.set_ssthresh_bytes(static_cast<std::uint64_t>(half_flight));
   flow.set_cwnd_bytes(static_cast<double>(flow.mss()));
+#if MPR_AUDIT
+  check::cc_bounds(flow.cwnd_bytes(), flow.ssthresh_bytes(), flow.mss());
+#endif
 }
 
 }  // namespace mpr::tcp

@@ -75,6 +75,10 @@ class RenoFamilyCc : public CongestionControl {
 
  protected:
   [[nodiscard]] virtual double ca_increase_bytes(FlowCc& flow, std::uint64_t acked_bytes) = 0;
+  /// Audit bound (RFC 6356 §4): largest CA increase the controller may apply
+  /// relative to an uncoupled New Reno flow. 1.0 for Reno/LIA; OLIA's
+  /// rate-balancing alpha term can add up to 0.5/w on top of its coupled term.
+  [[nodiscard]] virtual double ca_increase_cap_factor() const { return 1.0; }
   /// Hook for per-flow bookkeeping (OLIA's inter-loss byte counters).
   virtual void note_bytes_acked(FlowCc& /*flow*/, std::uint64_t /*acked*/) {}
   virtual void note_loss(FlowCc& /*flow*/) {}

@@ -3,12 +3,40 @@
 #include <algorithm>
 #include <cassert>
 
+#include "check/audit.h"
 #include "tcp/metrics_cache.h"
 
 namespace mpr::tcp {
 
 namespace {
 constexpr sim::Duration kRtoGranularity = sim::Duration::millis(1);
+}
+
+void TcpEndpoint::set_state(TcpState next) {
+#if MPR_AUDIT
+  // abort()/RST/handshake exhaustion may close from any state, hence the
+  // kClosed wildcard; every other edge must be on the allow-list.
+  static const check::TransitionAudit kTcpTransitions{
+      "tcp.state_transition",
+      {"Closed", "SynSent", "SynReceived", "Established", "FinWait",
+       "CloseWait", "LastAck", "Done"},
+      {
+          {static_cast<int>(TcpState::kClosed), static_cast<int>(TcpState::kSynSent)},
+          {static_cast<int>(TcpState::kClosed), static_cast<int>(TcpState::kSynReceived)},
+          {static_cast<int>(TcpState::kSynSent), static_cast<int>(TcpState::kEstablished)},
+          {static_cast<int>(TcpState::kSynReceived), static_cast<int>(TcpState::kEstablished)},
+          {static_cast<int>(TcpState::kEstablished), static_cast<int>(TcpState::kFinWait)},
+          {static_cast<int>(TcpState::kEstablished), static_cast<int>(TcpState::kCloseWait)},
+          {static_cast<int>(TcpState::kCloseWait), static_cast<int>(TcpState::kLastAck)},
+          {static_cast<int>(TcpState::kLastAck), static_cast<int>(TcpState::kDone)},
+          {static_cast<int>(TcpState::kFinWait), static_cast<int>(TcpState::kDone)},
+      },
+      /*wildcard_to=*/static_cast<int>(TcpState::kClosed)};
+  kTcpTransitions.on_transition(static_cast<int>(state_), static_cast<int>(next),
+                                /*conn=*/0, /*subflow=*/static_cast<int>(local_.port),
+                                sim().now().ns());
+#endif
+  state_ = next;
 }
 
 TcpEndpoint::TcpEndpoint(net::Host& host, net::SocketAddr local, net::SocketAddr remote,
@@ -51,7 +79,7 @@ TcpEndpoint::~TcpEndpoint() {
 
 void TcpEndpoint::connect() {
   assert(state_ == TcpState::kClosed);
-  state_ = TcpState::kSynSent;
+  set_state(TcpState::kSynSent);
   metrics_.first_syn_time = sim().now();
   snd_una_ = 0;
   snd_nxt_ = 1;  // SYN occupies seq 0
@@ -62,7 +90,7 @@ void TcpEndpoint::connect() {
 void TcpEndpoint::accept_syn(const net::Packet& syn) {
   assert(state_ == TcpState::kClosed);
   assert(syn.tcp.has(net::kFlagSyn));
-  state_ = TcpState::kSynReceived;
+  set_state(TcpState::kSynReceived);
   metrics_.first_syn_time = sim().now();
   rcv_nxt_ = syn.tcp.seq + 1;
   peer_rwnd_ = syn.tcp.wnd;
@@ -86,7 +114,7 @@ void TcpEndpoint::shutdown_write() {
 void TcpEndpoint::abort() {
   cancel_rto();
   cancel_delack();
-  state_ = TcpState::kClosed;
+  set_state(TcpState::kClosed);
 }
 
 // --------------------------------------------------------------------------
@@ -247,7 +275,7 @@ void TcpEndpoint::maybe_send_fin() {
   decorate_outgoing(*p);
   host_.send(std::move(p));
   if (rto_timer_ == sim::kInvalidEventId) arm_rto();
-  state_ = (state_ == TcpState::kCloseWait) ? TcpState::kLastAck : TcpState::kFinWait;
+  set_state(state_ == TcpState::kCloseWait ? TcpState::kLastAck : TcpState::kFinWait);
 }
 
 // --------------------------------------------------------------------------
@@ -262,7 +290,7 @@ void TcpEndpoint::on_packet(net::PacketPtr p) {
     cancel_delack();
     // Closed before option processing: anything the reset triggers at the
     // MPTCP layer (reinjection pumps) must skip this endpoint.
-    state_ = TcpState::kClosed;
+    set_state(TcpState::kClosed);
     process_options(*p);
     handle_reset(during_handshake);
     return;
@@ -318,7 +346,7 @@ void TcpEndpoint::handle_syn_received(const net::Packet& p) {
 }
 
 void TcpEndpoint::become_established() {
-  state_ = TcpState::kEstablished;
+  set_state(TcpState::kEstablished);
   metrics_.established_time = sim().now();
   syn_retries_ = 0;
   handle_established();
@@ -368,7 +396,7 @@ void TcpEndpoint::process_ack_side(const net::Packet& p) {
     }
 
     if (fin_acked) {
-      if (state_ == TcpState::kLastAck) state_ = TcpState::kDone;
+      if (state_ == TcpState::kLastAck) set_state(TcpState::kDone);
       // kFinWait: remain until the peer's FIN arrives (handled in data side).
     }
 
@@ -514,9 +542,9 @@ void TcpEndpoint::process_data_side(const net::Packet& p) {
     need_ack = true;
     if (on_peer_fin) on_peer_fin();
     if (state_ == TcpState::kEstablished) {
-      state_ = TcpState::kCloseWait;
+      set_state(TcpState::kCloseWait);
     } else if (state_ == TcpState::kFinWait) {
-      state_ = TcpState::kDone;
+      set_state(TcpState::kDone);
     }
   } else if (p.tcp.has(net::kFlagFin)) {
     need_ack = true;  // FIN arrived out of order; ack current rcv_nxt
@@ -683,7 +711,7 @@ void TcpEndpoint::on_rto_timer() {
   if (state_ == TcpState::kSynSent || state_ == TcpState::kSynReceived) {
     const bool active_open = state_ == TcpState::kSynSent;
     if (++syn_retries_ > config_.max_syn_retries) {
-      state_ = TcpState::kClosed;
+      set_state(TcpState::kClosed);
       if (active_open) handle_connect_failed();
       return;
     }

@@ -239,6 +239,10 @@ class TcpEndpoint : public FlowCc {
   /// up with the receiver's edge; plain runs always hit the skip == 0 path.
   void deliver_from(std::uint64_t seq, std::uint32_t len, std::optional<net::DssOption> dss);
 
+  /// Single funnel for state changes; under MPR_AUDIT every transition is
+  /// validated against the TCP state machine's allow-list.
+  void set_state(TcpState next);
+
   net::Host& host_;
   net::SocketAddr local_;
   net::SocketAddr remote_;

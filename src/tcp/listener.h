@@ -8,8 +8,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "net/host.h"
@@ -53,7 +53,9 @@ class TcpAcceptor {
   TcpConfig config_;
   AcceptFn on_accept_;
   std::unique_ptr<TcpListener> listener_;
-  std::unordered_map<net::FlowKey, std::unique_ptr<TcpEndpoint>> connections_;
+  // Ordered: connections() feeds harness iteration order, which must not
+  // depend on hash layout (mpr-lint unordered-iter).
+  std::map<net::FlowKey, std::unique_ptr<TcpEndpoint>> connections_;
 };
 
 }  // namespace mpr::tcp

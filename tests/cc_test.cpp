@@ -58,7 +58,7 @@ TEST(RenoFamily, SlowStartStopsAtSsthreshBoundary) {
 TEST(RenoFamily, CongestionAvoidanceIsReciprocal) {
   tcp::NewRenoCc cc;
   MockFlow f{20, 50};
-  f.set_ssthresh_bytes(1000);  // force CA
+  f.set_ssthresh_bytes(2800);  // force CA (2 MSS: lowest audit-legal ssthresh)
   cc.register_flow(f);
   const double before = f.cwnd_bytes();
   cc.on_ack(f, 1400);
@@ -106,7 +106,7 @@ TEST(CcFactory, MakesAllThreeKinds) {
 TEST(Lia, SinglePathReducesToReno) {
   LiaCc cc;
   MockFlow f{20, 100};
-  f.set_ssthresh_bytes(1000);
+  f.set_ssthresh_bytes(2800);
   cc.register_flow(f);
   const double before = f.cwnd_bytes();
   cc.on_ack(f, 1400);
@@ -118,8 +118,8 @@ TEST(Lia, IncreaseNeverExceedsReno) {
   LiaCc cc;
   MockFlow wifi{20, 20};
   MockFlow cell{60, 100};
-  wifi.set_ssthresh_bytes(1000);
-  cell.set_ssthresh_bytes(1000);
+  wifi.set_ssthresh_bytes(2800);
+  cell.set_ssthresh_bytes(2800);
   cc.register_flow(wifi);
   cc.register_flow(cell);
   const double before_w = wifi.cwnd_bytes();
@@ -137,8 +137,8 @@ TEST(Lia, AlphaMatchesHandComputedValue) {
   LiaCc cc;
   MockFlow wifi{20, 20};
   MockFlow cell{60, 100};
-  wifi.set_ssthresh_bytes(1000);
-  cell.set_ssthresh_bytes(1000);
+  wifi.set_ssthresh_bytes(2800);
+  cell.set_ssthresh_bytes(2800);
   cc.register_flow(wifi);
   cc.register_flow(cell);
   const double before = wifi.cwnd_bytes();
@@ -153,8 +153,8 @@ TEST(Lia, CouplingSlowsLowRttPathRelativeToReno) {
   LiaCc cc;
   MockFlow wifi{10, 20};
   MockFlow cell{80, 100};
-  wifi.set_ssthresh_bytes(1000);
-  cell.set_ssthresh_bytes(1000);
+  wifi.set_ssthresh_bytes(2800);
+  cell.set_ssthresh_bytes(2800);
   cc.register_flow(wifi);
   cc.register_flow(cell);
   const double before = wifi.cwnd_bytes();
@@ -169,7 +169,7 @@ TEST(Lia, CouplingSlowsLowRttPathRelativeToReno) {
 TEST(Olia, SinglePathReducesToReno) {
   OliaCc cc;
   MockFlow f{20, 100};
-  f.set_ssthresh_bytes(1000);
+  f.set_ssthresh_bytes(2800);
   cc.register_flow(f);
   const double before = f.cwnd_bytes();
   cc.on_ack(f, 1400);
@@ -185,8 +185,8 @@ TEST(Olia, CoupledTermMatchesHandComputedValue) {
   OliaCc cc;
   MockFlow wifi{20, 20};
   MockFlow cell{60, 100};
-  wifi.set_ssthresh_bytes(1000);
-  cell.set_ssthresh_bytes(1000);
+  wifi.set_ssthresh_bytes(2800);
+  cell.set_ssthresh_bytes(2800);
   cc.register_flow(wifi);
   cc.register_flow(cell);
 
@@ -204,8 +204,8 @@ TEST(Olia, BoostsBestPathWithSmallWindow) {
   OliaCc cc;
   MockFlow wifi{40, 20};
   MockFlow cell{5, 100};
-  wifi.set_ssthresh_bytes(1000);
-  cell.set_ssthresh_bytes(1000);
+  wifi.set_ssthresh_bytes(2800);
+  cell.set_ssthresh_bytes(2800);
   cc.register_flow(wifi);
   cc.register_flow(cell);
   // Record traffic so cell's inter-loss estimate dominates.
@@ -230,8 +230,8 @@ TEST(Olia, PenalizesMaxWindowPathWhenCollectedNonEmpty) {
   OliaCc cc;
   MockFlow wifi{40, 20};
   MockFlow cell{5, 100};
-  wifi.set_ssthresh_bytes(1000);
-  cell.set_ssthresh_bytes(1000);
+  wifi.set_ssthresh_bytes(2800);
+  cell.set_ssthresh_bytes(2800);
   cc.register_flow(wifi);
   cc.register_flow(cell);
   cc.on_ack(cell, 1400 * 1000);
@@ -253,8 +253,8 @@ TEST(Olia, TotalAlphaIsZeroSum) {
   OliaCc cc;
   MockFlow a{30, 50};
   MockFlow b{10, 50};
-  a.set_ssthresh_bytes(1000);
-  b.set_ssthresh_bytes(1000);
+  a.set_ssthresh_bytes(2800);
+  b.set_ssthresh_bytes(2800);
   cc.register_flow(a);
   cc.register_flow(b);
   cc.on_ack(b, 1400 * 500);  // b becomes best
@@ -280,8 +280,8 @@ TEST(Olia, NeverCollapsesWindowOnSingleAck) {
   OliaCc cc;
   MockFlow a{100, 10};
   MockFlow b{2, 500};
-  a.set_ssthresh_bytes(1000);
-  b.set_ssthresh_bytes(1000);
+  a.set_ssthresh_bytes(2800);
+  b.set_ssthresh_bytes(2800);
   cc.register_flow(a);
   cc.register_flow(b);
   cc.on_ack(b, 1400 * 500);
@@ -297,7 +297,7 @@ TEST(Olia, UnregisterRemovesPathFromFormulas) {
   OliaCc cc;
   MockFlow a{20, 50};
   MockFlow b{20, 50};
-  a.set_ssthresh_bytes(1000);
+  a.set_ssthresh_bytes(2800);
   cc.register_flow(a);
   cc.register_flow(b);
   cc.unregister_flow(b);
@@ -313,8 +313,8 @@ TEST(UncoupledReno, SharedInstanceKeepsFlowsIndependent) {
   tcp::NewRenoCc shared;
   MockFlow a{20, 20};
   MockFlow b{60, 100};
-  a.set_ssthresh_bytes(1000);
-  b.set_ssthresh_bytes(1000);
+  a.set_ssthresh_bytes(2800);
+  b.set_ssthresh_bytes(2800);
   shared.register_flow(a);
   shared.register_flow(b);
   const double before_a = a.cwnd_bytes();
