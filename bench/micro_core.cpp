@@ -3,6 +3,8 @@
 // end-to-end download as a macro smoke benchmark.
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
 #include "core/coupled_cc.h"
 #include "core/reorder_buffer.h"
 #include "experiment/run.h"
@@ -10,6 +12,8 @@
 #include "net/packet_pool.h"
 #include "sim/event_queue.h"
 #include "sim/simulation.h"
+#include "sim/timing_wheel.h"
+#include "tcp/seg_ring.h"
 
 namespace {
 
@@ -46,6 +50,90 @@ void BM_EventQueueCancel(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
 }
 BENCHMARK(BM_EventQueueCancel);
+
+void BM_EventQueueBatchPop(benchmark::State& state) {
+  // Many events per instant (fan-in heavy topologies): measures the batched
+  // same-timestamp dispatch against the per-pop heap fixup it replaced.
+  constexpr int kInstants = 1024;
+  constexpr int kPerInstant = 16;
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::uint64_t sum = 0;
+    for (int t = 0; t < kInstants; ++t) {
+      for (int i = 0; i < kPerInstant; ++i) {
+        q.schedule_at(sim::TimePoint::from_ns(t * 1000), [&sum] { ++sum; });
+      }
+    }
+    q.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kInstants *
+                          kPerInstant);
+}
+BENCHMARK(BM_EventQueueBatchPop);
+
+void BM_TimerWheelArmCancel(benchmark::State& state) {
+  // The RTO pattern: every "ACK" cancels the pending far timer and re-arms
+  // it, while near events keep the clock moving. Fired timers are the rare
+  // exception; arm/cancel churn is the cost that matters.
+  for (auto _ : state) {
+    sim::EventQueue q;
+    sim::EventId timer = sim::kInvalidEventId;
+    int remaining = 4096;
+    std::function<void()> ack = [&] {
+      if (timer != sim::kInvalidEventId) q.cancel(timer);
+      timer = q.schedule_after(sim::Duration::millis(200), [&] {
+        timer = sim::kInvalidEventId;
+      });
+      if (--remaining > 0) q.schedule_after(sim::Duration::micros(100), ack);
+    };
+    q.schedule_at(sim::TimePoint::from_ns(0), [&] { ack(); });
+    q.run();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_TimerWheelArmCancel);
+
+void BM_UnackedTracking(benchmark::State& state) {
+  // The sender's retransmission-state loop in isolation: append a flight of
+  // MSS segments at snd_nxt, then retire it front-to-back on cumulative
+  // ACKs, with a SACK-style ordered probe per flight. This is the pattern
+  // unacked_ (tcp/seg_ring.h) sees on every RTT of a backlog transfer.
+  struct Seg {
+    std::uint32_t len{0};
+    std::int64_t sent_ns{0};
+    bool sacked{false};
+    bool lost{false};
+  };
+  constexpr std::uint32_t kMss = 1400;
+  constexpr int kFlight = 64;
+  constexpr int kFlights = 256;
+  for (auto _ : state) {
+    tcp::SegRing<Seg> unacked;
+    std::uint64_t snd_nxt = 1;
+    std::uint64_t bytes = 0;
+    for (int f = 0; f < kFlights; ++f) {
+      for (int i = 0; i < kFlight; ++i) {
+        unacked.push_back(snd_nxt, Seg{kMss, f, false, false});
+        snd_nxt += kMss;
+      }
+      // One ordered probe per flight (SACK scan over the second half).
+      const std::size_t mid = unacked.lower_bound(snd_nxt - kFlight / 2 * kMss);
+      for (std::size_t i = mid; i < unacked.size(); ++i) {
+        benchmark::DoNotOptimize(unacked.at(i).val.sacked);
+      }
+      // Cumulative ACK retires the whole flight.
+      while (!unacked.empty() && unacked.front().seq + kMss <= snd_nxt) {
+        bytes += unacked.front().val.len;
+        unacked.pop_front();
+      }
+    }
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kFlights * kFlight);
+}
+BENCHMARK(BM_UnackedTracking);
 
 void BM_ReorderBufferInOrder(benchmark::State& state) {
   for (auto _ : state) {

@@ -260,7 +260,9 @@ class MptcpConnection {
   std::optional<net::RemoveAddrOption> remove_addr_pending_;
   std::uint32_t remove_addr_generation_{0};  // sender side
   // Ordered: iterated when replaying withdrawals, and iteration order feeds
-  // REMOVE_ADDR emission order (mpr-lint unordered-iter).
+  // REMOVE_ADDR emission order (mpr-lint unordered-iter). Control-plane only
+  // (a handful of addresses, touched on path changes, never per packet).
+  // mpr-lint: allow(ordered-container)
   std::map<net::IpAddr, std::uint32_t> remove_addr_seen_;  // receiver side
 
   std::uint64_t local_key_{0};
@@ -296,7 +298,9 @@ class MptcpConnection {
   /// queued again instead of being dropped by the dedup check — a cascading
   /// failure must not strand data permanently. Ordered: erase_if sweeps on
   /// data-ack progress must visit DSNs deterministically (mpr-lint
-  /// unordered-iter).
+  /// unordered-iter). Populated only while a subflow is failing over, so
+  /// the tree never sits on the steady-state per-packet path.
+  // mpr-lint: allow(ordered-container)
   std::map<std::uint64_t, std::uint8_t> reinjected_dsns_;
   std::uint64_t reinjected_chunks_{0};
 
@@ -315,6 +319,8 @@ class MptcpConnection {
   };
   // Ordered: iterated on address removal and teardown, where the order of
   // cancelled timers must be deterministic (mpr-lint unordered-iter).
+  // Control-plane only: one entry per attempted join.
+  // mpr-lint: allow(ordered-container)
   std::map<std::uint64_t, JoinRetryState> join_retries_;
 
   // Fallback state (RFC 6824 §3.6–§3.8).

@@ -65,6 +65,10 @@ class ReorderBuffer {
 
   std::uint64_t capacity_;
   std::uint64_t rcv_nxt_{0};
+  // Ordered in-order drain by DSN. Population is bounded by the receive
+  // window and only grows when paths diverge; candidate for a SeqFlatMap
+  // (tcp/seg_ring.h) if many-flow profiles show it hot.
+  // mpr-lint: allow(ordered-container)
   std::map<std::uint64_t, Held> held_;
   std::uint64_t buffered_bytes_{0};
   std::uint64_t max_buffered_{0};

@@ -9,20 +9,17 @@ namespace mpr::sim {
 std::atomic<std::uint64_t> EventQueue::total_executed_{0};
 
 namespace {
-// Min-heap order: earliest time first, FIFO (lowest seq) among equals.
-constexpr auto kLater = [](const auto& a, const auto& b) {
-  if (a.when != b.when) return a.when > b.when;
-  return a.seq > b.seq;
-};
 // Typical runs keep a few dozen pending events (timers + in-flight packets);
 // pre-sizing the slot table and heap avoids the early growth reallocations.
 constexpr std::size_t kInitialCapacity = 256;
 }  // namespace
 
 EventQueue::EventQueue() {
-  heap_.reserve(kInitialCapacity);
+  hkey_.reserve(kInitialCapacity);
+  hslot_.reserve(kInitialCapacity);
   slots_.reserve(kInitialCapacity);
   free_slots_.reserve(kInitialCapacity);
+  batch_.reserve(64);
 }
 
 EventQueue::~EventQueue() {
@@ -59,14 +56,44 @@ void EventQueue::release_slot(std::uint32_t slot) {
   free_slots_.push_back(slot);
 }
 
-void EventQueue::heap_push(Entry entry) {
-  heap_.push_back(entry);
-  std::push_heap(heap_.begin(), heap_.end(), kLater);
+void EventQueue::heap_push(HeapKey key, std::uint32_t slot) {
+  std::size_t i = hkey_.size();
+  hkey_.push_back(key);
+  hslot_.push_back(slot);
+  while (i > 0) {
+    const std::size_t p = (i - 1) >> 2;
+    if (!key_less(key, hkey_[p])) break;
+    hkey_[i] = hkey_[p];
+    hslot_[i] = hslot_[p];
+    i = p;
+  }
+  hkey_[i] = key;
+  hslot_[i] = slot;
 }
 
-void EventQueue::heap_pop() {
-  std::pop_heap(heap_.begin(), heap_.end(), kLater);
-  heap_.pop_back();
+void EventQueue::heap_pop_top() {
+  const std::size_t n = hkey_.size() - 1;
+  const HeapKey key = hkey_[n];
+  const std::uint32_t slot = hslot_[n];
+  hkey_.pop_back();
+  hslot_.pop_back();
+  if (n == 0) return;
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t c = (i << 2) + 1;
+    if (c >= n) break;
+    std::size_t best = c;
+    const std::size_t end = std::min(c + 4, n);
+    for (std::size_t j = c + 1; j < end; ++j) {
+      if (key_less(hkey_[j], hkey_[best])) best = j;
+    }
+    if (!key_less(hkey_[best], key)) break;
+    hkey_[i] = hkey_[best];
+    hslot_[i] = hslot_[best];
+    i = best;
+  }
+  hkey_[i] = key;
+  hslot_[i] = slot;
 }
 
 EventId EventQueue::schedule_at(TimePoint when, Action action) {
@@ -74,7 +101,18 @@ EventId EventQueue::schedule_at(TimePoint when, Action action) {
   if (when < now_) when = now_;  // never schedule into the past
   const std::uint32_t slot = acquire_slot(std::move(action));
   const EventId id = encode(slot, slots_[slot].gen);
-  heap_push(Entry{when, next_seq_++, slot});
+  const std::uint64_t seq = next_seq_++;
+  // Far-out events park in the wheel; near ones go straight to the heap.
+  // The min_insert_ns() guard covers the window where the wheel cursor has
+  // run ahead of now_ (it moves to the drain target, which can exceed the
+  // time of the event that ends up executing). Routing never affects
+  // execution order — see the ordering contract in the header.
+  if (when.ns() - now_.ns() >= kWheelMinDelayNs && when.ns() >= wheel_.min_insert_ns()) {
+    wheel_.insert(TimingWheel::Entry{when, seq, slot});
+    wheel_next_due_ns_ = wheel_.next_due().ns();
+  } else {
+    heap_push(HeapKey{when.ns(), seq}, slot);
+  }
   ++live_count_;
   return id;
 }
@@ -92,35 +130,122 @@ bool EventQueue::cancel(EventId id) {
   Slot& s = slots_[slot];
   if (!s.live || s.gen != static_cast<std::uint32_t>(id >> 32)) return false;
   // Tombstone: drop the action now (frees captured state), leave the heap
-  // entry to be skipped when it surfaces. The slot is recycled only then,
-  // so the id space stays unambiguous.
+  // or wheel entry to be skipped when it surfaces. The slot is recycled
+  // only then, so the id space stays unambiguous.
   s.live = false;
   s.action = nullptr;
   --live_count_;
   return true;
 }
 
-bool EventQueue::step() {
-  while (!heap_.empty()) {
-    const Entry top = heap_.front();
-    heap_pop();
-    Slot& s = slots_[top.slot];
-    if (!s.live) {  // tombstoned by cancel(): skip and recycle
-      release_slot(top.slot);
+bool EventQueue::prepare_top(std::int64_t limit_ns) {
+  for (;;) {
+    // Sweep tombstoned heap tops so hkey_[0], if present, is live.
+    while (!hkey_.empty() && !slots_[hslot_[0]].live) {
+      const std::uint32_t slot = hslot_[0];
+      heap_pop_top();
+      release_slot(slot);
+    }
+    const std::int64_t top_ns = hkey_.empty() ? kNoWheelEvent : hkey_[0].when_ns;
+    // One int64 compare decides whether the wheel can matter: its cached
+    // next_due is a lower bound on every parked entry's time. Equality must
+    // drain too — a wheel entry at the same instant can carry a lower seq.
+    if (wheel_next_due_ns_ == kNoWheelEvent || wheel_next_due_ns_ > top_ns ||
+        wheel_next_due_ns_ > limit_ns) {
+      return top_ns != kNoWheelEvent && top_ns <= limit_ns;
+    }
+    // Drain every wheel slot that could start at or before the earliest
+    // runnable instant. Entries land in the heap (or die, if tombstoned);
+    // the next pass of the loop re-evaluates the new top.
+    std::int64_t target = std::min(top_ns, limit_ns);
+    if (target == kNoWheelEvent) target = wheel_next_due_ns_;
+    wheel_.advance(TimePoint::from_ns(target), [this](const TimingWheel::Entry& e) {
+      if (slots_[e.slot].live) {
+        heap_push(HeapKey{e.when.ns(), e.seq}, e.slot);
+      } else {
+        release_slot(e.slot);  // cancelled while parked: never touches the heap
+      }
+    });
+    wheel_next_due_ns_ = wheel_.next_due().ns();
+  }
+}
+
+void EventQueue::run_batch() {
+  // Pop the whole same-instant run in one pass, then execute back-to-back.
+  // prepare_top() already drained the wheel through this instant, so the
+  // run is complete; events scheduled *by* the batch for this same instant
+  // carry higher seqs and form the next batch, preserving FIFO order.
+  const std::int64_t t_ns = hkey_[0].when_ns;
+  now_ = TimePoint::from_ns(t_ns);
+  batch_.clear();
+  do {
+    batch_.push_back(hslot_[0]);
+    heap_pop_top();
+  } while (!hkey_.empty() && hkey_[0].when_ns == t_ns);
+
+  const std::size_t n = batch_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) __builtin_prefetch(&slots_[batch_[i + 1]]);
+    Slot& s = slots_[batch_[i]];
+    // Liveness is re-checked here, not at pop: slot release is deferred so
+    // an action may cancel a later event in this very batch.
+    if (!s.live) {
+      release_slot(batch_[i]);
       continue;
     }
     // Move the action out before recycling: the action may schedule new
     // events, which are free to reuse this slot immediately.
     Action action = std::move(s.action);
-    release_slot(top.slot);
+    release_slot(batch_[i]);
 #if MPR_AUDIT
-    clock_audit_.on_event(top.when.ns());
+    clock_audit_.on_event(t_ns);
 #endif
-    now_ = top.when;
     --live_count_;
     ++executed_;
     action();
-    return true;
+  }
+}
+
+bool EventQueue::step() {
+  if (!prepare_top(kNoWheelEvent)) {
+#if MPR_AUDIT
+    if (live_count_ != 0) {
+      check::report({.rule = "event.live_count",
+                     .detail = std::to_string(live_count_) +
+                               " live event(s) unaccounted for in a drained heap",
+                     .time_ns = now_.ns()});
+    }
+#endif
+    return false;
+  }
+  // Single-event semantics (callers interleave with their own checks), so
+  // no batching here: pop exactly the top, which prepare_top made live.
+  const std::int64_t t_ns = hkey_[0].when_ns;
+  const std::uint32_t slot = hslot_[0];
+  heap_pop_top();
+  Slot& s = slots_[slot];
+  Action action = std::move(s.action);
+  release_slot(slot);
+#if MPR_AUDIT
+  clock_audit_.on_event(t_ns);
+#endif
+  now_ = TimePoint::from_ns(t_ns);
+  --live_count_;
+  ++executed_;
+  action();
+  return true;
+}
+
+void EventQueue::run_until(TimePoint deadline) {
+  while (prepare_top(deadline.ns())) {
+    run_batch();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void EventQueue::run() {
+  while (prepare_top(kNoWheelEvent)) {
+    run_batch();
   }
 #if MPR_AUDIT
   if (live_count_ != 0) {
@@ -130,27 +255,6 @@ bool EventQueue::step() {
                    .time_ns = now_.ns()});
   }
 #endif
-  return false;
-}
-
-void EventQueue::run_until(TimePoint deadline) {
-  while (!heap_.empty()) {
-    const Entry& top = heap_.front();
-    if (!slots_[top.slot].live) {
-      const std::uint32_t slot = top.slot;
-      heap_pop();
-      release_slot(slot);
-      continue;
-    }
-    if (top.when > deadline) break;
-    step();
-  }
-  if (now_ < deadline) now_ = deadline;
-}
-
-void EventQueue::run() {
-  while (step()) {
-  }
 }
 
 }  // namespace mpr::sim

@@ -1,24 +1,44 @@
 // Discrete-event scheduler.
 //
-// A binary-heap event queue with cancellable events and FIFO ordering for
-// events scheduled at the same instant. All simulator components schedule
-// through this queue; there is no other source of time.
+// A two-tier scheduler: a cache-friendly 4-ary min-heap for the dense
+// near-term events (packet hops, ACK deliveries) and a hierarchical timing
+// wheel (sim/timing_wheel.h) for far-out timers (RTO, delayed-ACK,
+// retries), which are armed constantly and cancelled almost always. All
+// simulator components schedule through this queue; there is no other
+// source of time.
+//
+// Ordering contract (unchanged from the single-heap design): events run in
+// exact (when, seq) order, where seq is assigned at schedule time — FIFO
+// among events scheduled for the same instant. The wheel never reorders
+// anything: it hands entries to the heap no later than their due time
+// (a slot's start is <= every due time inside it), and the heap is the
+// sole execution source. Routing between tiers therefore cannot change
+// outputs; runs stay bit-identical to the pure-heap scheduler.
 //
 // Cancellation uses a generation/tombstone slot scheme instead of a hash
 // set: every pending event owns a slot in a recycled slot table, its id
-// encodes (slot, generation), and cancel() just tombstones the slot. The
-// pop path then checks liveness with one indexed load — no per-pop hash
-// lookup — which matters because every packet, timer and ACK of a run
-// funnels through here.
+// encodes (slot, generation), and cancel() just tombstones the slot. A
+// tombstone parked in the wheel is swept in bulk when its slot opens — it
+// never travels through the heap at all, which is what makes the timer
+// arm/cancel churn of every data flight cheap.
+//
+// The hot loop is batched: all events sharing the front timestamp are
+// popped in one pass into a scratch list and executed back-to-back with
+// the next slot's liveness prefetched, so the heap fixup and the action
+// dispatch don't interleave their cache misses. Slot release is deferred
+// to execution time so an action may cancel a later event in the same
+// batch.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "check/audit.h"
 #include "sim/inline_function.h"
 #include "sim/time.h"
+#include "sim/timing_wheel.h"
 
 namespace mpr::sim {
 
@@ -37,6 +57,12 @@ inline constexpr std::size_t kEventActionCapacity = 64;
 class EventQueue {
  public:
   using Action = InlineFunction<void(), kEventActionCapacity>;
+
+  /// Events at least this far ahead of now() go to the timing wheel; nearer
+  /// ones (packet hops, same-instant work) go straight to the heap. Sized
+  /// so every protocol timer (delayed-ACK 40ms, RTO >= 200ms) wheels while
+  /// sub-RTT packet events never pay the wheel detour.
+  static constexpr std::int64_t kWheelMinDelayNs = 16'000'000;
 
   EventQueue();
   ~EventQueue();
@@ -82,13 +108,14 @@ class EventQueue {
   }
 
  private:
-  // Heap entries carry only ordering keys plus the slot index; the action
-  // lives in the slot so tombstoned entries are 24 bytes of dead weight in
-  // the heap, not a dangling std::function.
-  struct Entry {
-    TimePoint when;
+  // The heap is stored SoA: the 16-byte ordering key (when, seq) in one
+  // array, the 4-byte slot index in a parallel one. Sifts compare keys
+  // only, so a fixup pass walks a single densely packed array; the slot is
+  // touched once, at pop. 4-ary beats binary here: half the tree depth for
+  // one extra compare per visited node, all within two cache lines.
+  struct HeapKey {
+    std::int64_t when_ns;
     std::uint64_t seq;  // tie-break: FIFO at equal times
-    std::uint32_t slot;
   };
   struct Slot {
     Action action;
@@ -99,20 +126,40 @@ class EventQueue {
   [[nodiscard]] static EventId encode(std::uint32_t slot, std::uint32_t gen) {
     return (static_cast<EventId>(gen) << 32) | (static_cast<EventId>(slot) + 1);
   }
+  [[nodiscard]] static bool key_less(const HeapKey& a, const HeapKey& b) {
+    if (a.when_ns != b.when_ns) return a.when_ns < b.when_ns;
+    return a.seq < b.seq;
+  }
 
   std::uint32_t acquire_slot(Action action);
   void release_slot(std::uint32_t slot);  // bumps generation, recycles
 
-  void heap_push(Entry entry);
-  void heap_pop();  // removes heap_[0]
+  void heap_push(HeapKey key, std::uint32_t slot);
+  void heap_pop_top();
 
-  std::vector<Entry> heap_;
+  /// Makes hkey_[0] the globally earliest live event: sweeps tombstoned
+  /// heap tops and drains the wheel whenever a wheel slot could start at or
+  /// before the heap top (bounded by `limit_ns` so run_until never opens
+  /// slots beyond its deadline). Returns false when nothing live remains
+  /// at or before the limit.
+  bool prepare_top(std::int64_t limit_ns);
+
+  /// Executes every event at the current heap-top instant in one pass.
+  void run_batch();
+
+  std::vector<HeapKey> hkey_;
+  std::vector<std::uint32_t> hslot_;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
+  std::vector<std::uint32_t> batch_;  // scratch: slots of the popped run
+  TimingWheel wheel_;
+  std::int64_t wheel_next_due_ns_{kNoWheelEvent};
   TimePoint now_{};
   std::uint64_t next_seq_{0};
   std::size_t live_count_{0};
   std::uint64_t executed_{0};
+
+  static constexpr std::int64_t kNoWheelEvent = std::numeric_limits<std::int64_t>::max();
 
 #if MPR_AUDIT
   check::TimeMonotonicAudit clock_audit_;

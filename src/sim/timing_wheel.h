@@ -1,0 +1,146 @@
+// Hierarchical timing wheel for far-out events.
+//
+// The EventQueue's binary heap is the right structure for the dense
+// near-term packet events, but timers (RTO, delayed-ACK, join-retry,
+// dead-path deadlines) have a different access pattern: armed constantly,
+// cancelled almost always, fired almost never. In a heap every arm is an
+// O(log n) sift and every cancel leaves a tombstone that must later be
+// popped through the root. The wheel makes arm an O(1) bucket append and
+// lets a cancelled timer die in place — its tombstone is swept in bulk
+// when the slot expires, never travelling through the heap at all.
+//
+// Layout: kLevels levels of kSlots slots each; level j slots are
+// 64^j level-0 ticks wide (one tick = 2^kResolutionBits ns). An entry is
+// bucketed by its absolute due tick relative to the wheel cursor; slots
+// are found lazily via per-level occupancy bitmaps (rotate + countr_zero),
+// so advancing across an idle hour costs O(levels), not O(ticks).
+//
+// Ordering contract: the wheel never executes anything and never decides
+// order. advance(t) hands every entry whose *slot* has opened by `t` to a
+// sink; the sink (the EventQueue heap) re-establishes exact (when, seq)
+// order before execution. Slot granularity therefore only bounds how
+// early an entry is handed over — never how late: an entry's slot start
+// is <= its due time, so it always reaches the heap before the clock
+// passes it. This is what keeps outputs bit-identical to the pure-heap
+// scheduler.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace mpr::sim {
+
+class TimingWheel {
+ public:
+  /// What the wheel stores: the EventQueue's ordering key plus its slot
+  /// table index. Opaque to the wheel itself.
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq{0};
+    std::uint32_t slot{0};
+  };
+
+  static constexpr int kSlotBits = 6;  // 64 slots per level
+  static constexpr int kSlots = 1 << kSlotBits;
+  static constexpr int kLevels = 5;
+  /// One level-0 tick = 2^19 ns ~ 524 us. Spans per level: 33.6 ms,
+  /// 2.15 s, 2.3 min, 2.4 h, 6.5 days; anything further is clamped into
+  /// the top level and re-bucketed as the cursor approaches.
+  static constexpr int kResolutionBits = 19;
+
+  TimingWheel();
+
+  /// Files `e` by its due tick. Precondition: tick(e.when) >= cursor
+  /// (callers route anything nearer straight to the heap; see
+  /// min_insert_ns()).
+  void insert(const Entry& e);
+
+  /// Opens every slot whose start time is <= `t`: level-0 entries go to
+  /// `sink`, higher-level slots cascade down (re-bucketed relative to the
+  /// new cursor; entries already due are sunk directly). The cursor ends
+  /// past tick(t), so the wheel is driven purely by the event clock —
+  /// there is no periodic tick.
+  template <typename Sink>
+  void advance(TimePoint t, Sink&& sink) {
+    const std::int64_t target = to_tick(t.ns());
+    for (;;) {
+      int level = -1;
+      const std::int64_t start = earliest_slot(level);
+      if (level < 0 || start > target) break;
+      open_slot(level, start, target, sink);
+    }
+    if (cursor_ <= target) cursor_ = target + 1;
+    recompute_next_due();
+  }
+
+  /// Lower bound on the earliest entry's due time: the start time of the
+  /// earliest occupied slot (TimePoint::max() when empty). The EventQueue
+  /// compares this against its heap top to decide when the wheel must be
+  /// advanced; one cached int64 compare per pop.
+  [[nodiscard]] TimePoint next_due() const { return next_due_; }
+
+  /// Earliest `when` that insert() currently accepts. Anything nearer is
+  /// the caller's to keep (the heap); this floor only moves forward when
+  /// advance() runs.
+  [[nodiscard]] std::int64_t min_insert_ns() const { return cursor_ << kResolutionBits; }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+ private:
+  [[nodiscard]] static constexpr std::int64_t to_tick(std::int64_t ns) {
+    return ns >> kResolutionBits;
+  }
+  /// Level-j slots are 64^j ticks wide.
+  [[nodiscard]] static constexpr std::int64_t slot_width(int level) {
+    return std::int64_t{1} << (kSlotBits * level);
+  }
+  [[nodiscard]] static constexpr std::int64_t level_span(int level) {
+    return std::int64_t{1} << (kSlotBits * (level + 1));
+  }
+
+  /// Earliest occupied slot across all levels; returns its start tick and
+  /// stores the level in `level` (-1 if the wheel is empty).
+  [[nodiscard]] std::int64_t earliest_slot(int& level) const;
+
+  /// Expires/cascades the level-`level` slot starting at `start` ticks.
+  template <typename Sink>
+  void open_slot(int level, std::int64_t start, std::int64_t target, Sink&& sink) {
+    const int index = static_cast<int>((start >> (kSlotBits * level)) & (kSlots - 1));
+    std::vector<Entry>& bucket = buckets_[level][index];
+    occupied_[level] &= ~(std::uint64_t{1} << index);
+    // The cursor has logically reached this slot; re-bucketing of any
+    // cascaded entry is relative to it.
+    if (cursor_ < start) cursor_ = start;
+    // Swap into a scratch vector: a cascade re-inserts into lower-level
+    // buckets and must not alias the one being drained. The scratch's
+    // capacity is recycled across opens, so steady state does not allocate.
+    scratch_.swap(bucket);
+    size_ -= scratch_.size();
+    for (const Entry& e : scratch_) {
+      if (level == 0 || to_tick(e.when.ns()) <= target) {
+        sink(e);
+      } else {
+        insert(e);  // cascade: lands in a lower level (or earlier slot)
+      }
+    }
+    scratch_.clear();
+  }
+
+  void recompute_next_due();
+
+  /// Cursor in level-0 ticks: every slot starting before it has been
+  /// opened. Entries always live at tick >= cursor_.
+  std::int64_t cursor_{0};
+  std::size_t size_{0};
+  TimePoint next_due_{TimePoint::max()};
+  std::uint64_t occupied_[kLevels]{};
+  std::vector<Entry> buckets_[kLevels][kSlots];
+  std::vector<Entry> scratch_;
+};
+
+}  // namespace mpr::sim

@@ -140,12 +140,15 @@ void TcpEndpoint::pump() {
 
     // Retransmissions of lost-marked segments take priority.
     if (lost_bytes_ > 0 && flight < wnd) {
-      auto it = std::find_if(unacked_.begin(), unacked_.end(),
-                             [](const auto& kv) { return kv.second.lost; });
-      if (it != unacked_.end()) {
-        retransmit(it->first);
-        continue;
+      bool found = false;
+      for (std::size_t i = 0; i < unacked_.size(); ++i) {
+        if (unacked_.at(i).val.lost) {
+          retransmit(unacked_.at(i).seq);
+          found = true;
+          break;
+        }
       }
+      if (found) continue;
     }
 
     if (flight >= wnd) break;
@@ -207,7 +210,7 @@ void TcpEndpoint::send_segment_new(Chunk chunk) {
   seg.data_fin = chunk.data_fin;
   seg.sent_time = sim().now();
   const std::uint64_t seq = snd_nxt_;
-  unacked_.emplace(seq, seg);
+  unacked_.push_back(seq, seg);
   snd_nxt_ += chunk.len;
 
   net::PacketPtr p = make_packet(net::kFlagAck, seq, chunk.len);
@@ -225,9 +228,9 @@ void TcpEndpoint::send_segment_new(Chunk chunk) {
 }
 
 void TcpEndpoint::retransmit(std::uint64_t seq) {
-  const auto it = unacked_.find(seq);
-  if (it == unacked_.end()) return;
-  SegInfo& seg = it->second;
+  SegInfo* found = unacked_.find(seq);
+  if (found == nullptr) return;
+  SegInfo& seg = *found;
   if (seg.sacked) return;
   if (seg.lost) {
     seg.lost = false;
@@ -266,7 +269,7 @@ void TcpEndpoint::maybe_send_fin() {
   seg.fin = true;
   seg.sent_time = sim().now();
   const std::uint64_t seq = snd_nxt_;
-  unacked_.emplace(seq, seg);
+  unacked_.push_back(seq, seg);
   snd_nxt_ += 1;
   fin_sent_ = true;
   fin_seq_ = seq;
@@ -368,15 +371,15 @@ void TcpEndpoint::process_ack_side(const net::Packet& p) {
     std::optional<sim::Duration> sample;
     bool fin_acked = false;
     while (!unacked_.empty()) {
-      auto it = unacked_.begin();
-      const std::uint64_t seg_end = it->first + it->second.len;
+      const auto& head = unacked_.front();
+      const std::uint64_t seg_end = head.seq + head.val.len;
       if (seg_end > ack) break;
-      SegInfo& seg = it->second;
+      const SegInfo& seg = head.val;
       if (seg.sacked) sacked_bytes_ -= seg.len;
       if (seg.lost) lost_bytes_ -= seg.len;
       if (seg.rexmits == 0) sample = sim().now() - seg.sent_time;  // Karn's rule
       if (seg.fin) fin_acked = true;
-      unacked_.erase(it);
+      unacked_.pop_front();
     }
     snd_una_ = ack;
     metrics_.bytes_acked += acked;
@@ -407,7 +410,7 @@ void TcpEndpoint::process_ack_side(const net::Packet& p) {
       } else {
         // NewReno partial ACK: the next unacked segment is a hole.
         if (!unacked_.empty()) {
-          auto& [hseq, hseg] = *unacked_.begin();
+          SegInfo& hseg = unacked_.front().val;
           if (!hseg.sacked && !hseg.rexmitted_this_recovery && !hseg.lost) {
             hseg.lost = true;
             lost_bytes_ += hseg.len;
@@ -444,10 +447,10 @@ void TcpEndpoint::process_ack_side(const net::Packet& p) {
 
 void TcpEndpoint::process_sack(const net::SackList& blocks) {
   for (const net::SackBlock& b : blocks) {
-    for (auto it = unacked_.lower_bound(b.begin); it != unacked_.end() && it->first < b.end;
-         ++it) {
-      SegInfo& seg = it->second;
-      const std::uint64_t seg_end = it->first + seg.len;
+    for (std::size_t i = unacked_.lower_bound(b.begin);
+         i < unacked_.size() && unacked_.at(i).seq < b.end; ++i) {
+      SegInfo& seg = unacked_.at(i).val;
+      const std::uint64_t seg_end = unacked_.at(i).seq + seg.len;
       if (seg.sacked || seg_end > b.end) continue;
       seg.sacked = true;
       sacked_bytes_ += seg.len;
@@ -465,8 +468,9 @@ void TcpEndpoint::update_loss_marks() {
   const std::uint64_t lookahead =
       static_cast<std::uint64_t>(config_.dupack_threshold - 1) * config_.mss;
   bool marked = false;
-  for (auto& [seq, seg] : unacked_) {
-    if (seq + seg.len + lookahead > highest_sacked_) break;
+  for (std::size_t i = 0; i < unacked_.size(); ++i) {
+    SegInfo& seg = unacked_.at(i).val;
+    if (unacked_.at(i).seq + seg.len + lookahead > highest_sacked_) break;
     if (seg.sacked || seg.lost || seg.rexmitted_this_recovery) continue;
     seg.lost = true;
     lost_bytes_ += seg.len;
@@ -479,20 +483,23 @@ void TcpEndpoint::enter_recovery(bool loss_state) {
   in_recovery_ = true;
   recovery_is_loss_ = loss_state;
   recovery_point_ = snd_nxt_;
-  for (auto& [seq, seg] : unacked_) seg.rexmitted_this_recovery = false;
+  for (std::size_t i = 0; i < unacked_.size(); ++i) {
+    unacked_.at(i).val.rexmitted_this_recovery = false;
+  }
   if (loss_state) return;  // RTO path: cc_->on_rto already applied
 
   cc_->on_loss_event(*this);
   note_ssthresh_for_cache();
   ++metrics_.fast_retransmit_events;
   // Fast-retransmit the first unsacked hole immediately.
-  for (auto& [seq, seg] : unacked_) {
+  for (std::size_t i = 0; i < unacked_.size(); ++i) {
+    SegInfo& seg = unacked_.at(i).val;
     if (seg.sacked) continue;
     if (!seg.lost) {
       seg.lost = true;
       lost_bytes_ += seg.len;
     }
-    retransmit(seq);
+    retransmit(unacked_.at(i).seq);
     break;
   }
 }
@@ -517,8 +524,8 @@ void TcpEndpoint::process_data_side(const net::Packet& p) {
     } else if (seq > rcv_nxt_) {
       ++metrics_.out_of_order_packets;
       out_of_order = true;
-      if (ooo_.find(seq) == ooo_.end()) {
-        ooo_.emplace(seq, RxSeg{p.payload_bytes, p.tcp.dss});
+      if (!ooo_.contains(seq)) {
+        ooo_.insert(seq, RxSeg{p.payload_bytes, p.tcp.dss});
         ooo_bytes_ += p.payload_bytes;
       }
     } else if (seq + p.payload_bytes > rcv_nxt_) {
@@ -555,20 +562,20 @@ void TcpEndpoint::process_data_side(const net::Packet& p) {
 
 void TcpEndpoint::deliver_in_order() {
   while (!ooo_.empty()) {
-    auto it = ooo_.begin();
-    const std::uint64_t seg_end = it->first + it->second.len;
+    const auto& head = ooo_.front();
+    const std::uint64_t seg_end = head.seq + head.val.len;
     if (seg_end <= rcv_nxt_) {
       // Fully superseded by an overlapping (re-segmented) delivery; a stale
       // head entry must not block the rest of the queue.
-      ooo_bytes_ -= it->second.len;
-      ooo_.erase(it);
+      ooo_bytes_ -= head.val.len;
+      ooo_.erase_at(0);
       continue;
     }
-    if (it->first > rcv_nxt_) break;
-    const std::uint64_t seq = it->first;
-    const RxSeg seg = it->second;
+    if (head.seq > rcv_nxt_) break;
+    const std::uint64_t seq = head.seq;
+    const RxSeg seg = head.val;
     ooo_bytes_ -= seg.len;
-    ooo_.erase(it);
+    ooo_.erase_at(0);
     deliver_from(seq, seg.len, seg.dss);
   }
 }
@@ -643,7 +650,9 @@ void TcpEndpoint::fill_sack_blocks(net::Packet& p) {
   std::uint64_t run_begin = 0;
   std::uint64_t run_end = 0;
   bool in_run = false;
-  for (const auto& [seq, seg] : ooo_) {
+  for (std::size_t i = 0; i < ooo_.size(); ++i) {
+    const std::uint64_t seq = ooo_.at(i).seq;
+    const RxSeg& seg = ooo_.at(i).val;
     if (in_run && seq == run_end) {
       run_end += seg.len;
       continue;
@@ -668,7 +677,8 @@ std::uint64_t TcpEndpoint::advertised_window() const {
 std::vector<TcpEndpoint::OutstandingMapping> TcpEndpoint::outstanding_mappings() const {
   std::vector<OutstandingMapping> out;
   out.reserve(unacked_.size());
-  for (const auto& [seq, seg] : unacked_) {
+  for (std::size_t i = 0; i < unacked_.size(); ++i) {
+    const SegInfo& seg = unacked_.at(i).val;
     if (seg.dsn && !seg.fin) out.push_back(OutstandingMapping{*seg.dsn, seg.len});
   }
   return out;
@@ -742,9 +752,9 @@ void TcpEndpoint::on_rto_timer() {
     note_ssthresh_for_cache();
     frto_active_ = true;
     frto_inconclusive_acks_ = 0;
-    const auto head = unacked_.begin();
-    frto_rexmit_end_ = head->first + head->second.len;
-    retransmit(head->first);
+    const auto& head = unacked_.front();
+    frto_rexmit_end_ = head.seq + head.val.len;
+    retransmit(head.seq);
     rto_ = std::min(rto_ * 2, backoff_cap);
     arm_rto();
     handle_rto();
@@ -757,14 +767,15 @@ void TcpEndpoint::on_rto_timer() {
   // Everything outstanding is presumed lost; retransmission is clocked by
   // the (collapsed) window as ACKs return.
   mark_all_outstanding_lost();
-  retransmit(unacked_.begin()->first);
+  retransmit(unacked_.front().seq);
   rto_ = std::min(rto_ * 2, backoff_cap);
   arm_rto();
   handle_rto();
 }
 
 void TcpEndpoint::mark_all_outstanding_lost() {
-  for (auto& [seq, seg] : unacked_) {
+  for (std::size_t i = 0; i < unacked_.size(); ++i) {
+    SegInfo& seg = unacked_.at(i).val;
     if (!seg.sacked && !seg.lost) {
       seg.lost = true;
       lost_bytes_ += seg.len;

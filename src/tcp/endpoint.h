@@ -23,7 +23,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 
@@ -32,6 +31,7 @@
 #include "tcp/config.h"
 #include "tcp/congestion.h"
 #include "tcp/metrics.h"
+#include "tcp/seg_ring.h"
 
 namespace mpr::tcp {
 
@@ -253,10 +253,13 @@ class TcpEndpoint : public FlowCc {
   TcpState state_{TcpState::kClosed};
   FlowMetrics metrics_;
 
-  // Sender.
+  // Sender. The retransmission state lives in a flat ring (tcp/seg_ring.h):
+  // segments are appended in sequence order at snd_nxt_ and retired from the
+  // front by cumulative ACKs, so no tree is needed — every ACK-side scan is
+  // a linear walk over contiguous memory.
   std::uint64_t snd_una_{0};
   std::uint64_t snd_nxt_{0};
-  std::map<std::uint64_t, SegInfo> unacked_;
+  SegRing<SegInfo> unacked_;
   std::uint64_t sacked_bytes_{0};
   std::uint64_t lost_bytes_{0};
   std::uint64_t highest_sacked_{0};
@@ -291,9 +294,10 @@ class TcpEndpoint : public FlowCc {
   sim::EventId rto_timer_{sim::kInvalidEventId};
   sim::TimePoint syn_sent_time_;
 
-  // Receiver.
+  // Receiver. Out-of-order segments arrive sparsely and stay few (bounded
+  // by the receive window), so a sorted flat vector beats a tree here.
   std::uint64_t rcv_nxt_{0};
-  std::map<std::uint64_t, RxSeg> ooo_;
+  SeqFlatMap<RxSeg> ooo_;
   std::uint64_t ooo_bytes_{0};
   std::uint32_t segs_since_ack_{0};
   std::uint32_t quickack_left_{0};

@@ -8,7 +8,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -47,15 +46,25 @@ class TcpAcceptor {
   [[nodiscard]] std::vector<TcpEndpoint*> connections();
 
  private:
+  struct Conn {
+    net::FlowKey key;
+    std::unique_ptr<TcpEndpoint> ep;
+  };
+
   void on_syn(const net::Packet& syn);
+  /// Index of the first entry with entry.key >= key (== size() if none).
+  [[nodiscard]] std::size_t lower_bound(const net::FlowKey& key) const;
 
   net::Host& host_;
   TcpConfig config_;
   AcceptFn on_accept_;
   std::unique_ptr<TcpListener> listener_;
-  // Ordered: connections() feeds harness iteration order, which must not
-  // depend on hash layout (mpr-lint unordered-iter).
-  std::map<net::FlowKey, std::unique_ptr<TcpEndpoint>> connections_;
+  // Sorted flat vector, keyed by flow: connections() feeds harness iteration
+  // order, which must not depend on hash layout (mpr-lint unordered-iter),
+  // and a tree node per connection is pure overhead at the populations the
+  // many-flow work targets. Insertions happen once per accepted connection;
+  // lookups (duplicate-SYN check) are binary searches.
+  std::vector<Conn> connections_;
 };
 
 }  // namespace mpr::tcp

@@ -4,15 +4,20 @@
 // performs no heap traffic — every acquire is served from the PacketPool
 // freelist. These tests pin that property so a future change that quietly
 // reintroduces per-packet allocations fails CI rather than a benchmark run.
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 
 #include <gtest/gtest.h>
 
 #include "app/http.h"
+#include "experiment/run.h"
 #include "experiment/testbed.h"
 #include "net/link.h"
 #include "net/packet_pool.h"
+#include "sim/event_queue.h"
 #include "sim/simulation.h"
 #include "tcp/endpoint.h"
 
@@ -101,6 +106,61 @@ TEST(PacketHotPath, DownloadSteadyStateHasZeroPoolMisses) {
       << "pool miss after warm-up: a packet path allocated in steady state";
   EXPECT_EQ(steady.high_water, warm.high_water);
   EXPECT_GT(steady.reuses, warm.reuses);
+}
+
+TEST(SchedulerThroughput, BacklogDownloadMeetsEventRateFloor) {
+  // Regression pin for the PR 6 hot-path work (flat retransmission state,
+  // timing wheel, batched dispatch): a backlog-style two-path download must
+  // sustain a minimum event rate. The floor is deliberately conservative —
+  // roughly a third of what the reference container sustains post-PR and
+  // below its pre-PR rate's double — so it trips on "someone reintroduced a
+  // node-based container / per-pop heap fixup" regressions, not on machine
+  // jitter. Override with MPR_PERF_FLOOR_EVENTS_PER_SEC (0 disables).
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__) || \
+    (defined(MPR_AUDIT) && MPR_AUDIT)
+  GTEST_SKIP() << "event-rate floor is only meaningful in uninstrumented builds";
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  GTEST_SKIP() << "event-rate floor is only meaningful in uninstrumented builds";
+#endif
+#endif
+#ifndef NDEBUG
+  GTEST_SKIP() << "event-rate floor is only meaningful in optimized builds";
+#endif
+  double floor_eps = 1.8e6;
+  if (const char* env = std::getenv("MPR_PERF_FLOOR_EVENTS_PER_SEC")) {
+    floor_eps = std::atof(env);
+    if (floor_eps <= 0) GTEST_SKIP() << "floor disabled via MPR_PERF_FLOOR_EVENTS_PER_SEC";
+  }
+
+  experiment::TestbedConfig tb;
+  tb.seed = 1;
+  experiment::RunConfig rc;
+  rc.mode = experiment::PathMode::kMptcp2;
+  rc.cc = core::CcKind::kReno;
+  rc.file_bytes = 64ull << 20;
+  rc.timeout = sim::Duration::seconds(7200);
+
+  // Warm-up run (pool population, page faults), then best-of-3 timed runs:
+  // the max filters out transient scheduling noise on shared CI machines,
+  // which a single sample would fold into the rate.
+  (void)experiment::run_download(tb, rc);
+  double rate = 0;
+  for (int i = 0; i < 3; ++i) {
+    const std::uint64_t before = sim::EventQueue::total_executed();
+    const auto t0 = std::chrono::steady_clock::now();
+    const experiment::RunResult r = experiment::run_download(tb, rc);
+    const auto t1 = std::chrono::steady_clock::now();
+    const std::uint64_t events = sim::EventQueue::total_executed() - before;
+    ASSERT_TRUE(r.completed);
+    ASSERT_GT(events, 150000u) << "download too small to measure an event rate";
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    rate = std::max(rate, static_cast<double>(events) / secs);
+  }
+  RecordProperty("events_per_sec", static_cast<int64_t>(rate));
+  EXPECT_GE(rate, floor_eps)
+      << "scheduler throughput regressed: " << rate / 1e6 << " Mev/s (floor "
+      << floor_eps / 1e6 << " Mev/s)";
 }
 
 }  // namespace

@@ -26,6 +26,13 @@ cuts by rule:
                   std::set<T*>): ordering by address varies run to run.
                   Pointer-keyed unordered containers used for lookup only
                   are fine.
+  ordered-container
+                  std::map/std::set (and multi variants) in hot-path files
+                  (src/net, src/tcp, src/core, src/sim): a red-black node
+                  per element is the allocation+pointer-chase cost PR 6
+                  removed from the scheduler and the TCP endpoints. Use a
+                  flat sorted vector / ring (tcp/seg_ring.h) or justify the
+                  tree with `mpr-lint: allow(ordered-container)`.
 
 Escape hatch: a line carrying (or immediately preceded by) the comment
 
@@ -51,6 +58,10 @@ CXX_SUFFIXES = {".h", ".hpp", ".cc", ".cpp", ".cxx"}
 # own memory by design), as are tests/tools/bench.
 RAW_NEW_DIRS = ("net/", "tcp/", "core/")
 
+# Directories where node-based ordered containers are banned (the scheduler
+# and per-packet structures): everything the per-event cost flows through.
+ORDERED_CONTAINER_DIRS = ("net/", "tcp/", "core/", "sim/")
+
 ALLOW_RE = re.compile(r"mpr-lint:\s*allow\(([^)]*)\)")
 
 WALLCLOCK_RE = re.compile(
@@ -75,6 +86,10 @@ MALLOC_FREE_RE = re.compile(r"(?<![\w.:>])(?:malloc|calloc|realloc|free)\s*\(")
 EQ_DELETE_RE = re.compile(r"=\s*delete\b")
 
 PTR_KEY_RE = re.compile(r"std::(?:multi)?(?:map|set)\s*<\s*(?:const\s+)?[\w:]+(?:\s*<[^<>]*>)?\s*\*")
+
+# Any std::map/std::set instantiation (never matches the unordered_ variants:
+# the regex requires `map`/`set` directly after the `std::` qualifier).
+ORDERED_CONTAINER_RE = re.compile(r"std::(?:multi)?(?:map|set)\s*<")
 
 # unordered_map/unordered_set variable declarations; captures the name.
 UNORDERED_DECL_RE = re.compile(
@@ -208,6 +223,7 @@ def lint_file(path: Path, rel: str, unordered_iter: list[tuple[re.Pattern, str]]
     code_lines = strip_comments_and_strings(text)
     findings: list[Finding] = []
     in_raw_new_scope = any(f"/{d}" in f"/{rel}" for d in RAW_NEW_DIRS)
+    in_hot_path_scope = any(f"/{d}" in f"/{rel}" for d in ORDERED_CONTAINER_DIRS)
 
     def add(idx: int, rule: str, message: str) -> None:
         if rule in allowed_rules(raw_lines, idx):
@@ -221,6 +237,10 @@ def lint_file(path: Path, rel: str, unordered_iter: list[tuple[re.Pattern, str]]
             add(idx, "rand", "non-seeded randomness (use the run's seeded sim::Rng)")
         if PTR_KEY_RE.search(line):
             add(idx, "ptr-key", "pointer-keyed ordered container (address order is nondeterministic)")
+        if in_hot_path_scope and ORDERED_CONTAINER_RE.search(line):
+            add(idx, "ordered-container",
+                "std::map/std::set in a hot-path file (node per element; use a flat "
+                "sorted vector or tcp/seg_ring.h, or justify with allow(ordered-container))")
         if in_raw_new_scope:
             if (NEW_RE.search(line) or DELETE_RE.search(line)) and not EQ_DELETE_RE.search(line):
                 add(idx, "raw-new", "raw new/delete in the packet hot path (use PacketPool / owned containers)")

@@ -88,8 +88,10 @@ class UnorderedIterRule(LintFixture):
         self.assertEqual(rules, [])
 
     def test_ordered_map_iteration_not_flagged(self):
+        # Outside the hot-path dirs so the ordered-container rule stays quiet.
         rules, _ = self.lint(
-            "std::map<int, int> sorted_;\nvoid f() { for (auto& [k, v] : sorted_) { use(k); } }\n"
+            "std::map<int, int> sorted_;\nvoid f() { for (auto& [k, v] : sorted_) { use(k); } }\n",
+            rel="experiment/fixture.cpp",
         )
         self.assertEqual(rules, [])
 
@@ -140,7 +142,38 @@ class PtrKeyRule(LintFixture):
         self.assertIn("ptr-key", rules)
 
     def test_value_keyed_map_not_flagged(self):
-        rules, _ = self.lint("std::map<std::uint64_t, Seg*> segs_;\n")
+        # Outside the hot-path dirs so the ordered-container rule stays quiet.
+        rules, _ = self.lint("std::map<std::uint64_t, Seg*> segs_;\n", rel="experiment/fixture.cpp")
+        self.assertEqual(rules, [])
+
+
+class OrderedContainerRule(LintFixture):
+    def test_map_flagged_in_tcp(self):
+        rules, _ = self.lint("std::map<std::uint64_t, SegInfo> unacked_;\n", rel="tcp/ep.h")
+        self.assertIn("ordered-container", rules)
+
+    def test_set_flagged_in_sim(self):
+        rules, _ = self.lint("std::set<int> pending_;\n", rel="sim/queue.h")
+        self.assertIn("ordered-container", rules)
+
+    def test_multimap_flagged_in_core(self):
+        rules, _ = self.lint("std::multimap<int, int> m_;\n", rel="core/conn.h")
+        self.assertIn("ordered-container", rules)
+
+    def test_unordered_map_not_flagged_by_this_rule(self):
+        rules, _ = self.lint("std::unordered_map<int, int> lookup_;\n", rel="net/host.h")
+        self.assertNotIn("ordered-container", rules)
+
+    def test_map_outside_hot_path_not_flagged(self):
+        rules, _ = self.lint("std::map<int, int> results_;\n", rel="analysis/stats.h")
+        self.assertEqual(rules, [])
+
+    def test_allow_comment_suppresses(self):
+        rules, _ = self.lint(
+            "// mpr-lint: allow(ordered-container)\n"
+            "std::map<std::uint64_t, Held> held_;\n",
+            rel="core/reorder.h",
+        )
         self.assertEqual(rules, [])
 
 
