@@ -15,6 +15,9 @@ struct SessionResult {
   double prefetch_s{0};
   Summary block_s;
   std::uint64_t late{0};
+  std::uint64_t underruns{0};
+  double underrun_s{0};
+  std::uint64_t missed_frames{0};
   bool completed{false};
 };
 
@@ -47,10 +50,16 @@ SessionResult run_session(const app::StreamingWorkload& wl, bool multipath, Carr
   for (const sim::Duration d : session.result().block_times) blocks.push_back(d.to_seconds());
   out.block_s = summarize(std::move(blocks));
   out.late = session.result().late_blocks;
+  out.underruns = session.result().underruns;
+  out.underrun_s = session.result().underrun_time.to_seconds();
+  out.missed_frames = session.result().deadline_missed_frames;
   return out;
 }
 
-void run_workload(const char* name, const app::StreamingWorkload& wl, int n) {
+void run_workload(const char* name, app::StreamingWorkload wl, int n) {
+  // Playback model for the deadline-miss metric: 24 fps video, so a block
+  // carries period × 24 frames.
+  wl.frames_per_block = static_cast<std::uint64_t>(wl.period.to_seconds() * 24.0);
   std::printf("\n-- %s (prefetch %.1fMB, block %.1fMB, period %.1fs, %llu blocks) --\n", name,
               static_cast<double>(wl.prefetch_bytes) / kMB,
               static_cast<double>(wl.block_bytes) / kMB, wl.period.to_seconds(),
@@ -60,6 +69,9 @@ void run_workload(const char* name, const app::StreamingWorkload& wl, int n) {
     double block_mean = 0;
     double block_max = 0;
     std::uint64_t late = 0;
+    std::uint64_t underruns = 0;
+    double underrun_s = 0;
+    std::uint64_t missed = 0;
     int completed = 0;
     for (int i = 0; i < n; ++i) {
       const SessionResult r =
@@ -70,16 +82,22 @@ void run_workload(const char* name, const app::StreamingWorkload& wl, int n) {
       block_mean += r.block_s.mean;
       block_max = std::max(block_max, r.block_s.max);
       late += r.late;
+      underruns += r.underruns;
+      underrun_s += r.underrun_s;
+      missed += r.missed_frames;
     }
     if (completed == 0) {
       std::printf("  %-22s (no completed sessions)\n", multipath ? "MPTCP (WiFi+AT&T)" : "SP-WiFi");
       continue;
     }
-    std::printf("  %-22s prefetch=%6.2fs  block mean=%5.2fs max=%5.2fs  late=%llu/%llu\n",
-                multipath ? "MPTCP (WiFi+AT&T)" : "SP-WiFi", prefetch / completed,
-                block_mean / completed, block_max,
-                static_cast<unsigned long long>(late),
-                static_cast<unsigned long long>(wl.blocks * static_cast<std::uint64_t>(completed)));
+    std::printf(
+        "  %-22s prefetch=%6.2fs  block mean=%5.2fs max=%5.2fs  late=%llu/%llu  "
+        "rebuffers=%llu (%.2fs)  missed frames=%llu\n",
+        multipath ? "MPTCP (WiFi+AT&T)" : "SP-WiFi", prefetch / completed,
+        block_mean / completed, block_max, static_cast<unsigned long long>(late),
+        static_cast<unsigned long long>(wl.blocks * static_cast<std::uint64_t>(completed)),
+        static_cast<unsigned long long>(underruns), underrun_s,
+        static_cast<unsigned long long>(missed));
   }
 }
 

@@ -1,6 +1,32 @@
 #include "app/streaming.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace mpr::app {
+
+bool account_block(const StreamingWorkload& w, sim::Duration fetch_time, bool prev_late,
+                   StreamingResult& r) {
+  r.block_times.push_back(fetch_time);
+  r.frames_total += w.frames_per_block;
+  const bool late = fetch_time > w.period;
+  if (!late) return false;
+  ++r.late_blocks;
+  if (!prev_late) ++r.underruns;
+  const sim::Duration lateness = fetch_time - w.period;
+  r.underrun_time = r.underrun_time + lateness;
+  if (w.frames_per_block > 0) {
+    // Frames render every period/frames_per_block; a block that arrives
+    // `lateness` past its deadline has missed every frame slot inside that
+    // interval, capped at the block's own frame count.
+    const double spacing_s =
+        w.period.to_seconds() / static_cast<double>(w.frames_per_block);
+    const auto missed = static_cast<std::uint64_t>(
+        std::ceil(lateness.to_seconds() / spacing_s));
+    r.deadline_missed_frames += std::min(missed, w.frames_per_block);
+  }
+  return true;
+}
 
 StreamingSession::StreamingSession(sim::Simulation& sim, MptcpHttpClient& client,
                                    StreamingWorkload workload)
@@ -12,6 +38,7 @@ void StreamingSession::start() {
     if (workload_.blocks == 0) {
       result_.completed = true;
       finished_ = true;
+      if (on_finished) on_finished();
       return;
     }
     sim_.after(workload_.period, [this] { fetch_block(); });
@@ -20,11 +47,11 @@ void StreamingSession::start() {
 
 void StreamingSession::fetch_block() {
   client_.get(workload_.block_bytes, [this](const FetchResult& r) {
-    result_.block_times.push_back(r.fetch_time());
-    if (r.fetch_time() > workload_.period) ++result_.late_blocks;
+    prev_late_ = account_block(workload_, r.fetch_time(), prev_late_, result_);
     if (++blocks_done_ >= workload_.blocks) {
       result_.completed = true;
       finished_ = true;
+      if (on_finished) on_finished();
       return;
     }
     // Next block one period after this one *started* (steady playback),

@@ -21,6 +21,10 @@ struct StreamingWorkload {
   std::uint64_t block_bytes{1800 * 1024};
   sim::Duration period{sim::Duration::from_seconds(10.2)};
   std::uint64_t blocks{10};
+  /// Video frames rendered per block, spaced uniformly across the period
+  /// (e.g. 24 fps x 10.2 s ≈ 245). Zero disables per-frame deadline
+  /// accounting; block-level underrun metrics are always collected.
+  std::uint64_t frames_per_block{0};
 
   /// Paper Table 7 presets.
   [[nodiscard]] static StreamingWorkload netflix_android() {
@@ -52,8 +56,28 @@ struct StreamingResult {
   sim::Duration prefetch_time;                 // first SYN -> prefetch complete
   std::vector<sim::Duration> block_times;      // per-block fetch latency
   std::uint64_t late_blocks{0};                // fetch latency > period
+  /// Distinct rebuffering episodes: a maximal run of consecutive late
+  /// blocks counts once (the player stalls, then recovers), so three
+  /// back-to-back late blocks are one underrun but three late_blocks.
+  std::uint64_t underruns{0};
+  /// Total playback stall time: sum over late blocks of how far past the
+  /// period the fetch finished.
+  sim::Duration underrun_time;
+  /// Frames whose render deadline passed before their block arrived
+  /// (only counted when StreamingWorkload::frames_per_block > 0).
+  std::uint64_t deadline_missed_frames{0};
+  std::uint64_t frames_total{0};
   bool completed{false};
 };
+
+/// Folds one finished block fetch into `r`: records the latency, extends or
+/// opens an underrun episode, and charges missed frame deadlines.
+/// `prev_late` is whether the previous block was late (consecutive late
+/// blocks share one underrun). Returns whether this block was late. Pure
+/// accounting, exposed so tests can validate it against hand-computed
+/// schedules.
+bool account_block(const StreamingWorkload& w, sim::Duration fetch_time, bool prev_late,
+                   StreamingResult& r);
 
 /// Drives a streaming session over an MPTCP HTTP client. The result is
 /// available once `finished()`.
@@ -65,6 +89,9 @@ class StreamingSession {
   [[nodiscard]] bool finished() const { return finished_; }
   [[nodiscard]] const StreamingResult& result() const { return result_; }
 
+  /// Invoked once, when the last block completes.
+  std::function<void()> on_finished;
+
  private:
   void fetch_block();
 
@@ -73,6 +100,7 @@ class StreamingSession {
   StreamingWorkload workload_;
   StreamingResult result_;
   std::uint64_t blocks_done_{0};
+  bool prev_late_{false};
   bool finished_{false};
 };
 

@@ -272,6 +272,97 @@ void cc_aggregate_increase(double increase_bytes, double reno_increase_bytes,
   }
 }
 
+void cc_vegas_adjust(double delta_bytes, std::uint32_t mss, double cwnd_bytes,
+                     std::uint64_t conn, int subflow, std::int64_t time_ns) {
+  bump_checks();
+  const double mssd = static_cast<double>(mss);
+  const double eps = 1e-3 + mssd * 1e-9;
+  const double mag = delta_bytes < 0 ? -delta_bytes : delta_bytes;
+  if (mag > mssd + eps) {
+    report({.rule = "cc.vegas_adjust",
+            .detail = "delay-based CA step of " + std::to_string(delta_bytes) +
+                      " bytes exceeds one MSS (" + std::to_string(mss) + ")",
+            .conn = conn,
+            .subflow = subflow,
+            .time_ns = time_ns});
+  }
+  if (!(cwnd_bytes == cwnd_bytes) || cwnd_bytes < mssd - eps) {
+    report({.rule = "cc.vegas_adjust",
+            .detail = "cwnd " + std::to_string(cwnd_bytes) +
+                      " bytes below the 1-MSS floor after a Vegas step",
+            .conn = conn,
+            .subflow = subflow,
+            .time_ns = time_ns});
+  }
+}
+
+void scheduler_weights_valid(const std::vector<double>& weights,
+                             std::uint64_t conn) {
+  bump_checks();
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i];
+    if (!(w == w) || w <= 0.0 || w > 1e18) {
+      report({.rule = "sched.weights",
+              .detail = "scheduler weight[" + std::to_string(i) + "] = " +
+                        std::to_string(w) + " is not a finite positive share",
+              .conn = conn,
+              .subflow = static_cast<int>(i)});
+    }
+  }
+}
+
+void scheduler_pump_order(const std::vector<SchedEntry>& order,
+                          bool partition_by_space, bool order_by_srtt,
+                          std::uint64_t conn, std::int64_t time_ns) {
+  bump_checks();
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (partition_by_space && order[i].cwnd_space && !order[i - 1].cwnd_space) {
+      report({.rule = "sched.starvation",
+              .detail = "subflow with window space ordered behind a "
+                        "window-blocked one at position " + std::to_string(i),
+              .conn = conn,
+              .subflow = static_cast<int>(i),
+              .time_ns = time_ns});
+    }
+    // Within the same window-space class (or globally for minrtt/redundant),
+    // the strategy's own key must be respected.
+    const bool same_class =
+        !partition_by_space || order[i].cwnd_space == order[i - 1].cwnd_space;
+    if (order_by_srtt && same_class && order[i].srtt_ns < order[i - 1].srtt_ns) {
+      report({.rule = "sched.order",
+              .detail = "srtt " + std::to_string(order[i].srtt_ns) +
+                        "ns ordered after " + std::to_string(order[i - 1].srtt_ns) +
+                        "ns at position " + std::to_string(i),
+              .conn = conn,
+              .subflow = static_cast<int>(i),
+              .time_ns = time_ns});
+    }
+    if (!order_by_srtt && same_class && order[i].deficit < order[i - 1].deficit) {
+      report({.rule = "sched.order",
+              .detail = "deficit " + std::to_string(order[i].deficit) +
+                        " ordered after " + std::to_string(order[i - 1].deficit) +
+                        " at position " + std::to_string(i),
+              .conn = conn,
+              .subflow = static_cast<int>(i),
+              .time_ns = time_ns});
+    }
+  }
+}
+
+void redundant_duplicate(int origin, int target, std::uint64_t conn,
+                         std::uint64_t dsn, std::int64_t time_ns) {
+  bump_checks();
+  if (origin == target) {
+    report({.rule = "sched.redundant_origin",
+            .detail = "duplicate dispatched back onto its origin subflow " +
+                      std::to_string(origin),
+            .conn = conn,
+            .subflow = target,
+            .dsn = dsn,
+            .time_ns = time_ns});
+  }
+}
+
 // ---------------------------------------------------------------------------
 
 ConnAudit& Auditor::make_conn(std::uint64_t conn) {

@@ -182,6 +182,41 @@ void cc_aggregate_increase(double increase_bytes, double reno_increase_bytes,
                            double cap_factor, std::uint64_t conn = 0,
                            int subflow = -1, std::int64_t time_ns = -1);
 
+/// Vegas adjustment invariant: a delay-based congestion-avoidance step moves
+/// cwnd by at most one MSS per RTT epoch in either direction, and the
+/// resulting cwnd respects the 1-MSS floor.
+void cc_vegas_adjust(double delta_bytes, std::uint32_t mss, double cwnd_bytes,
+                     std::uint64_t conn = 0, int subflow = -1,
+                     std::int64_t time_ns = -1);
+
+/// Weighted-scheduler configuration: every share must be finite and > 0
+/// (the runtime treats bad entries as 1.0; the auditor flags them so a
+/// misconfigured scenario cannot silently degrade to round-robin).
+void scheduler_weights_valid(const std::vector<double>& weights,
+                             std::uint64_t conn = 0);
+
+/// One subflow's position in a pumping order, as plain data so check/ stays
+/// independent of core/.
+struct SchedEntry {
+  bool cwnd_space{false};    ///< window admits more data right now
+  std::int64_t srtt_ns{0};   ///< smoothed RTT
+  double deficit{0.0};       ///< scheduled bytes / configured weight
+};
+
+/// Validates a scheduler's pumping order after PacketScheduler::order():
+/// with `partition_by_space`, no window-blocked subflow may precede one with
+/// space ("sched.starvation" — the round-robin stall bug); with
+/// `order_by_srtt`, smoothed RTTs must be non-decreasing ("sched.order").
+void scheduler_pump_order(const std::vector<SchedEntry>& order,
+                          bool partition_by_space, bool order_by_srtt,
+                          std::uint64_t conn = 0, std::int64_t time_ns = -1);
+
+/// Redundant-scheduler dispatch: a duplicate must travel on a different
+/// subflow than the original ("sched.redundant_origin" — same-subflow
+/// duplication would just burn the origin's cwnd without path diversity).
+void redundant_duplicate(int origin, int target, std::uint64_t conn = 0,
+                         std::uint64_t dsn = 0, std::int64_t time_ns = -1);
+
 /// Per-Simulation audit service (Simulation::service<check::Auditor>()):
 /// hands out one ConnAudit per MPTCP connection and aggregates their check
 /// counts for SimStats.

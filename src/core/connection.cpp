@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 
 namespace mpr::core {
@@ -20,19 +21,87 @@ class MinRttScheduler final : public PacketScheduler {
 
 /// Deficit round-robin: the subflow that has been assigned the fewest
 /// data-level bytes pulls first, spreading data evenly regardless of RTT.
+/// Subflows without window space sort behind those with it: a
+/// cwnd-exhausted subflow (e.g. one collapsed to 1 MSS by an outage, with
+/// nothing in flight after loss marking) would otherwise keep the lowest
+/// deficit, soak up the front of every round and strand fresh chunks until
+/// RTO reinjection.
 class RoundRobinScheduler final : public PacketScheduler {
  public:
   void order(std::vector<MptcpSubflow*>& subflows) override {
     std::stable_sort(subflows.begin(), subflows.end(),
                      [](const MptcpSubflow* a, const MptcpSubflow* b) {
+                       if (a->has_window_space() != b->has_window_space()) {
+                         return a->has_window_space();
+                       }
                        return a->scheduled_bytes() < b->scheduled_bytes();
                      });
   }
 };
+
+/// Weighted deficit round-robin: orders by scheduled bytes normalised by the
+/// configured per-subflow share, so a subflow with weight 3 carries ~3x the
+/// bytes of a weight-1 peer. Same window-space partition as round-robin.
+class WeightedScheduler final : public PacketScheduler {
+ public:
+  explicit WeightedScheduler(const std::vector<double>& weights) : weights_{weights} {
+    for (double& w : weights_) {
+      if (!std::isfinite(w) || w <= 0.0) w = 1.0;
+    }
+  }
+
+  [[nodiscard]] double weight(std::uint8_t subflow_id) const override {
+    return subflow_id < weights_.size() ? weights_[subflow_id] : 1.0;
+  }
+
+  [[nodiscard]] bool enforces_shares() const override { return true; }
+
+  void order(std::vector<MptcpSubflow*>& subflows) override {
+    std::stable_sort(subflows.begin(), subflows.end(),
+                     [this](const MptcpSubflow* a, const MptcpSubflow* b) {
+                       if (a->has_window_space() != b->has_window_space()) {
+                         return a->has_window_space();
+                       }
+                       return static_cast<double>(a->scheduled_bytes()) / weight(a->id()) <
+                              static_cast<double>(b->scheduled_bytes()) / weight(b->id());
+                     });
+  }
+
+ private:
+  std::vector<double> weights_;
+};
+
+/// Redundant: lowest-RTT pumping order like minrtt, but flags every fresh
+/// chunk for duplication onto a second subflow (the connection does the
+/// actual queueing in next_chunk_for).
+class RedundantScheduler final : public PacketScheduler {
+ public:
+  void order(std::vector<MptcpSubflow*>& subflows) override {
+    std::stable_sort(subflows.begin(), subflows.end(),
+                     [](const MptcpSubflow* a, const MptcpSubflow* b) {
+                       return a->srtt() < b->srtt();
+                     });
+  }
+  [[nodiscard]] bool redundant() const override { return true; }
+};
 }  // namespace
 
-std::unique_ptr<PacketScheduler> make_scheduler(SchedulerKind k) {
-  if (k == SchedulerKind::kRoundRobin) return std::make_unique<RoundRobinScheduler>();
+std::optional<SchedulerKind> scheduler_from_string(const std::string& s) {
+  if (s == "minrtt") return SchedulerKind::kMinRtt;
+  if (s == "rr" || s == "roundrobin") return SchedulerKind::kRoundRobin;
+  if (s == "weighted") return SchedulerKind::kWeighted;
+  if (s == "redundant") return SchedulerKind::kRedundant;
+  return std::nullopt;
+}
+
+std::unique_ptr<PacketScheduler> make_scheduler(SchedulerKind k,
+                                                const std::vector<double>& weights) {
+  switch (k) {
+    case SchedulerKind::kRoundRobin: return std::make_unique<RoundRobinScheduler>();
+    case SchedulerKind::kWeighted: return std::make_unique<WeightedScheduler>(weights);
+    case SchedulerKind::kRedundant: return std::make_unique<RedundantScheduler>();
+    case SchedulerKind::kMinRtt: break;
+  }
   return std::make_unique<MinRttScheduler>();
 }
 
@@ -49,12 +118,13 @@ MptcpConnection::MptcpConnection(net::Host& host, MptcpConfig config,
       server_primary_{server},
       local_key_{local_key},
       cc_{make_congestion_control(config.cc)},
-      scheduler_{make_scheduler(config.scheduler)},
+      scheduler_{make_scheduler(config.scheduler, config.scheduler_weights)},
       rx_{config.receive_buffer} {
   assert(!local_addrs_.empty());
   known_remote_addrs_.push_back(server.addr);
 #if MPR_AUDIT
   audit_ = &host_.sim().service<check::Auditor>().make_conn(local_key_);
+  check::scheduler_weights_valid(config_.scheduler_weights, local_key_);
 #endif
   rx_.on_deliver = [this](std::uint64_t dsn, std::uint32_t len) {
 #if MPR_AUDIT
@@ -78,7 +148,7 @@ MptcpConnection::MptcpConnection(net::Host& host, MptcpConfig config,
       advertise_addrs_{std::move(advertise)},
       local_key_{local_key},
       cc_{make_congestion_control(config.cc)},
-      scheduler_{make_scheduler(config.scheduler)},
+      scheduler_{make_scheduler(config.scheduler, config.scheduler_weights)},
       rx_{config.receive_buffer} {
   assert(capable_syn.tcp.mp_capable.has_value());
   remote_key_ = capable_syn.tcp.mp_capable->sender_key;
@@ -87,6 +157,7 @@ MptcpConnection::MptcpConnection(net::Host& host, MptcpConfig config,
   first_syn_time_ = host.sim().now();
 #if MPR_AUDIT
   audit_ = &host_.sim().service<check::Auditor>().make_conn(local_key_);
+  check::scheduler_weights_valid(config_.scheduler_weights, local_key_);
 #endif
   rx_.on_deliver = [this](std::uint64_t dsn, std::uint32_t len) {
 #if MPR_AUDIT
@@ -290,8 +361,39 @@ void MptcpConnection::pump_all() {
            sf->state() != tcp::TcpState::kCloseWait;
   });
   scheduler_->order(order);
+#if MPR_AUDIT
+  {
+    std::vector<check::SchedEntry> entries;
+    entries.reserve(order.size());
+    for (const MptcpSubflow* sf : order) {
+      entries.push_back(check::SchedEntry{
+          sf->has_window_space(), sf->srtt().ns(),
+          static_cast<double>(sf->scheduled_bytes()) / scheduler_->weight(sf->id())});
+    }
+    const bool by_space = config_.scheduler == SchedulerKind::kRoundRobin ||
+                          config_.scheduler == SchedulerKind::kWeighted;
+    const bool by_srtt = config_.scheduler == SchedulerKind::kMinRtt ||
+                         config_.scheduler == SchedulerKind::kRedundant;
+    check::scheduler_pump_order(entries, by_space, by_srtt, local_key_,
+                                host_.sim().now().ns());
+  }
+#endif
   for (MptcpSubflow* sf : order) sf->pump();
   pumping_all_ = false;
+}
+
+void MptcpConnection::set_scheduler(SchedulerKind kind, std::vector<double> weights) {
+  config_.scheduler = kind;
+  config_.scheduler_weights = std::move(weights);
+#if MPR_AUDIT
+  check::scheduler_weights_valid(config_.scheduler_weights, local_key_);
+#endif
+  scheduler_ = make_scheduler(kind, config_.scheduler_weights);
+  // Duplicates queued by the old strategy are opportunistic copies; the
+  // originals are still outstanding on their subflows, so dropping the
+  // queue cannot lose data.
+  if (!scheduler_->redundant()) dup_queue_.clear();
+  pump_all();
 }
 
 std::optional<tcp::TcpEndpoint::Chunk> MptcpConnection::next_chunk_for(
@@ -354,7 +456,66 @@ std::optional<tcp::TcpEndpoint::Chunk> MptcpConnection::next_chunk_for(
     return chunk;
   }
 
+  // Redundant-scheduler duplicates: consumed by the first subflow that is
+  // not the origin, so every duplicated DSN range travels on two paths and
+  // the first arrival wins. Entries the peer has data-acked in the meantime
+  // are dropped on the way. Audited as reinjections — a duplicate never
+  // maps new DSN space.
+  for (auto it = dup_queue_.begin(); it != dup_queue_.end();) {
+    if (it->dsn + it->len <= data_una_) {
+      it = dup_queue_.erase(it);
+      continue;
+    }
+    if (it->origin == sf.id()) {
+      ++it;
+      continue;
+    }
+    tcp::TcpEndpoint::Chunk chunk;
+    chunk.dsn = it->dsn;
+    const std::uint8_t origin = it->origin;
+    if (it->len <= max_len) {
+      chunk.len = it->len;
+      dup_queue_.erase(it);
+    } else {
+      chunk.len = max_len;
+      it->dsn += max_len;
+      it->len -= max_len;
+    }
+    ++redundant_chunks_;
+#if MPR_AUDIT
+    check::redundant_duplicate(origin, sf.id(), local_key_, *chunk.dsn,
+                               host_.sim().now().ns());
+    audit_->on_send_chunk(*chunk.dsn, chunk.len, /*reinject=*/true, sf.id(),
+                          host_.sim().now().ns());
+#else
+    (void)origin;
+#endif
+    return chunk;
+  }
+
   if (app_pending_ == 0) return std::nullopt;
+
+  // Weighted strategy: enforce the configured byte shares, not just the
+  // pumping order (a pumping order alone cannot cap a path — every subflow
+  // would still fill its congestion window). A subflow more than one chunk
+  // ahead of its share declines fresh data while another usable subflow
+  // lags; the laggard pulls the next chunk instead. Only subflows that
+  // could actually send now (healthy, non-backup, window space) hold a
+  // leader back, so a stalled path never throttles the connection.
+  if (scheduler_->enforces_shares()) {
+    const double mine =
+        static_cast<double>(sf.scheduled_bytes()) / scheduler_->weight(sf.id());
+    const double slack = static_cast<double>(max_len) / scheduler_->weight(sf.id());
+    for (const auto& other : subflows_) {
+      if (other.get() == &sf || !other->healthy() || other->backup() ||
+          !other->has_window_space()) {
+        continue;
+      }
+      const double theirs = static_cast<double>(other->scheduled_bytes()) /
+                            scheduler_->weight(other->id());
+      if (mine > theirs + slack) return std::nullopt;
+    }
+  }
 
   // Connection-level flow control against the peer's advertised window.
   const std::uint64_t data_in_flight = data_snd_nxt_ - data_una_;
@@ -381,6 +542,19 @@ std::optional<tcp::TcpEndpoint::Chunk> MptcpConnection::next_chunk_for(
     chunk.data_fin = true;
     data_fin_sent_ = true;
   }
+  if (scheduler_->redundant()) {
+    // Queue a duplicate for another subflow — only when one exists, so the
+    // queue cannot grow unbounded on a single-path connection. DATA_FIN
+    // rides the original alone.
+    std::size_t established = 0;
+    for (const auto& other : subflows_) {
+      if (other->state() == tcp::TcpState::kEstablished ||
+          other->state() == tcp::TcpState::kCloseWait) {
+        ++established;
+      }
+    }
+    if (established >= 2) dup_queue_.push_back(Reinject{*chunk.dsn, chunk.len, sf.id()});
+  }
   return chunk;
 }
 
@@ -396,6 +570,10 @@ void MptcpConnection::on_data_ack(std::uint64_t data_ack) {
   while (!reinject_queue_.empty() &&
          reinject_queue_.front().dsn + reinject_queue_.front().len <= data_una_) {
     reinject_queue_.pop_front();
+  }
+  while (!dup_queue_.empty() &&
+         dup_queue_.front().dsn + dup_queue_.front().len <= data_una_) {
+    dup_queue_.pop_front();
   }
   std::erase_if(reinjected_dsns_, [this](const auto& kv) { return kv.first < data_una_; });
   maybe_close_subflows();

@@ -40,6 +40,10 @@ struct MptcpConfig {
   tcp::TcpConfig subflow;
   CcKind cc{CcKind::kCoupled};
   SchedulerKind scheduler{SchedulerKind::kMinRtt};
+  /// Per-subflow shares for SchedulerKind::kWeighted, indexed by subflow id
+  /// (creation order: 0 is the initial/WiFi subflow). Missing or
+  /// non-positive entries count as 1.0; ignored by the other strategies.
+  std::vector<double> scheduler_weights;
   /// Fire MP_JOIN SYNs together with the initial SYN (§4.1.2). The default
   /// (delayed) mode mirrors the kernel path manager the paper measured:
   /// joins start only once the connection is confirmed by data-level
@@ -148,6 +152,10 @@ class MptcpConnection {
   /// remote address from it, clearing any pending withdrawal and join-retry
   /// backoff for the address.
   void add_local_addr(net::IpAddr addr);
+  /// Switches the dispatch strategy mid-connection (scenario `sched`
+  /// events). Pending redundant duplicates are discarded when leaving the
+  /// redundant strategy; the originals remain outstanding on their subflows.
+  void set_scheduler(SchedulerKind kind, std::vector<double> weights = {});
 
   // --- Introspection -------------------------------------------------------
   [[nodiscard]] bool established() const { return established_; }
@@ -161,6 +169,7 @@ class MptcpConnection {
   [[nodiscard]] std::uint64_t data_bytes_sent() const { return data_snd_nxt_; }
   [[nodiscard]] std::uint64_t penalizations() const { return penalizations_; }
   [[nodiscard]] std::uint64_t reinjected_chunks() const { return reinjected_chunks_; }
+  [[nodiscard]] std::uint64_t redundant_chunks() const { return redundant_chunks_; }
   [[nodiscard]] const MptcpConfig& config() const { return config_; }
   [[nodiscard]] FallbackKind fallback() const { return fallback_; }
   [[nodiscard]] bool plain_fallback() const { return fallback_ == FallbackKind::kPlainTcp; }
@@ -303,6 +312,14 @@ class MptcpConnection {
   // mpr-lint: allow(ordered-container)
   std::map<std::uint64_t, std::uint8_t> reinjected_dsns_;
   std::uint64_t reinjected_chunks_{0};
+  /// Redundant-scheduler duplicates awaiting a second subflow: every fresh
+  /// chunk handed out while the redundant strategy is active is queued here
+  /// (origin = the subflow that got the original) and consumed by the first
+  /// *other* subflow to pump. Duplicates are opportunistic: entries the peer
+  /// data-acks first are dropped, and an entry nobody else can carry simply
+  /// ages out once acked — the original copy guarantees delivery.
+  std::deque<Reinject> dup_queue_;
+  std::uint64_t redundant_chunks_{0};
 
   bool established_{false};
   bool joins_started_{false};

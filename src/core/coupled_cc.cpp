@@ -23,6 +23,7 @@ std::string to_string(CcKind k) {
     case CcKind::kReno: return "reno";
     case CcKind::kCoupled: return "coupled";
     case CcKind::kOlia: return "olia";
+    case CcKind::kVegas: return "vegas";
   }
   return "?";
 }
@@ -32,6 +33,7 @@ std::unique_ptr<tcp::CongestionControl> make_congestion_control(CcKind k) {
     case CcKind::kReno: return std::make_unique<tcp::NewRenoCc>();
     case CcKind::kCoupled: return std::make_unique<LiaCc>();
     case CcKind::kOlia: return std::make_unique<OliaCc>();
+    case CcKind::kVegas: return std::make_unique<tcp::VegasCc>();
   }
   return nullptr;
 }

@@ -14,6 +14,9 @@
 //            where alpha_i shifts window between "best" paths (largest
 //            inter-loss throughput estimate l_i^2/rtt_i) and max-window
 //            paths.
+//  vegas   — delay-based, uncoupled (tcp::VegasCc shared across subflows):
+//            each path nudges its window by one MSS per RTT toward an
+//            alpha..beta packet queue-occupancy target.
 //
 // Windows are computed in MSS units internally; increases are applied in
 // bytes with appropriate byte counting.
@@ -28,7 +31,7 @@
 
 namespace mpr::core {
 
-enum class CcKind { kReno, kCoupled, kOlia };
+enum class CcKind { kReno, kCoupled, kOlia, kVegas };
 
 [[nodiscard]] std::string to_string(CcKind k);
 [[nodiscard]] std::unique_ptr<tcp::CongestionControl> make_congestion_control(CcKind k);

@@ -1,15 +1,34 @@
 // MPTCP packet scheduling policy.
 //
 // The scheduler decides which subflow new connection-level data is offered
-// to first. The Linux implementation the paper measured uses lowest-RTT
-// (among subflows with congestion-window space); round-robin is provided as
-// an ablation. Scheduling is expressed as a pumping order: subflows earlier
-// in the order pull chunks from the connection first.
+// to first. Scheduling is expressed as a pumping order: subflows earlier in
+// the order pull chunks from the connection first. Four strategies:
+//
+//  minrtt     — lowest smoothed RTT first (the Linux default the paper
+//               measured).
+//  roundrobin — deficit round-robin: the subflow with the fewest scheduled
+//               data-level bytes pulls first, spreading data evenly
+//               regardless of RTT. Subflows without congestion-window space
+//               are moved to the back of the order so a stalled path cannot
+//               soak up fresh chunks it can never send (it would strand
+//               them until RTO reinjection).
+//  weighted   — deficit round-robin over bytes/weight: per-subflow shares
+//               from MptcpConfig::scheduler_weights (by subflow id; missing
+//               or non-positive entries count as 1.0). Same cwnd-space
+//               partition as roundrobin.
+//  redundant  — lowest-RTT pumping order, but every fresh chunk handed to
+//               one subflow is also duplicated onto another established
+//               subflow ("Is two greater than one?"-style redundant
+//               dispatch). First arrival wins at the receiver's reorder
+//               buffer; the losing copy is absorbed as a duplicate, so DSN
+//               exactly-once delivery holds. Duplicates are accounted as
+//               reinjections in the DSN audit (they never map new space).
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -17,19 +36,42 @@ namespace mpr::core {
 
 class MptcpSubflow;
 
-enum class SchedulerKind { kMinRtt, kRoundRobin };
+enum class SchedulerKind { kMinRtt, kRoundRobin, kWeighted, kRedundant };
 
 [[nodiscard]] inline std::string to_string(SchedulerKind k) {
-  return k == SchedulerKind::kMinRtt ? "minrtt" : "roundrobin";
+  switch (k) {
+    case SchedulerKind::kMinRtt: return "minrtt";
+    case SchedulerKind::kRoundRobin: return "roundrobin";
+    case SchedulerKind::kWeighted: return "weighted";
+    case SchedulerKind::kRedundant: return "redundant";
+  }
+  return "?";
 }
+
+/// Scenario/CLI name -> kind ("rr" and "roundrobin" both accepted).
+[[nodiscard]] std::optional<SchedulerKind> scheduler_from_string(const std::string& s);
 
 class PacketScheduler {
  public:
   virtual ~PacketScheduler() = default;
   /// Reorders `subflows` into pumping order (most preferred first).
   virtual void order(std::vector<MptcpSubflow*>& subflows) = 0;
+  /// Redundant dispatch: fresh chunks handed to one subflow are also
+  /// duplicated onto another established subflow by the connection.
+  [[nodiscard]] virtual bool redundant() const { return false; }
+  /// The deficit weight applied to `subflow_id` (1.0 unless the scheduler
+  /// is weighted and a share was configured for that id).
+  [[nodiscard]] virtual double weight(std::uint8_t /*subflow_id*/) const { return 1.0; }
+  /// Share enforcement: a subflow ahead of its weighted byte share declines
+  /// fresh data while another usable subflow lags behind its share (the
+  /// pumping order alone cannot cap a path — every subflow would still fill
+  /// its congestion window).
+  [[nodiscard]] virtual bool enforces_shares() const { return false; }
 };
 
-[[nodiscard]] std::unique_ptr<PacketScheduler> make_scheduler(SchedulerKind k);
+/// `weights` are per-subflow-id shares, only meaningful for kWeighted
+/// (ignored by the other strategies).
+[[nodiscard]] std::unique_ptr<PacketScheduler> make_scheduler(
+    SchedulerKind k, const std::vector<double>& weights = {});
 
 }  // namespace mpr::core

@@ -53,6 +53,8 @@ void collect_mptcp(RunResult& result, core::MptcpConnection& client_conn,
     }
     result.penalizations = server_conn->penalizations() + client_conn.penalizations();
     result.reinjections = server_conn->reinjected_chunks() + client_conn.reinjected_chunks();
+    result.redundant_chunks =
+        server_conn->redundant_chunks() + client_conn.redundant_chunks();
   }
   for (const core::OfoSample& s : client_conn.rx().ofo_samples()) {
     result.ofo_ms.push_back(s.delay.to_millis());
@@ -120,12 +122,15 @@ RunResult run_download(const TestbedConfig& testbed_cfg, const RunConfig& run_cf
   std::unique_ptr<app::MptcpHttpClient> mp_client;
   std::unique_ptr<app::TcpHttpServer> sp_server;
   std::unique_ptr<app::TcpHttpClient> sp_client;
+  std::unique_ptr<app::StreamingSession> streaming;
+  sim::TimePoint stream_start{};
 
   if (multipath) {
     core::MptcpConfig mcfg;
     mcfg.subflow = tcfg;
     mcfg.cc = run_cfg.cc;
     mcfg.scheduler = run_cfg.scheduler;
+    mcfg.scheduler_weights = run_cfg.scheduler_weights;
     mcfg.simultaneous_syns = run_cfg.simultaneous_syns;
     mcfg.penalization = run_cfg.penalization;
     mcfg.receive_buffer = run_cfg.receive_buffer;
@@ -164,10 +169,33 @@ RunResult run_download(const TestbedConfig& testbed_cfg, const RunConfig& run_cf
     injector.on_iface_up = [&mp_client, iface_addr](const std::string& link) {
       mp_client->connection().add_local_addr(iface_addr(link));
     };
+    // `sched` scenario events: netem hands us a name + weights; resolve it
+    // here (the harness owns the core dependency) and switch both ends so
+    // sender-side dispatch changes regardless of transfer direction.
+    injector.on_scheduler_change = [&mp_client, &mp_server](
+                                       const std::string& name,
+                                       const std::vector<double>& weights) {
+      const auto kind = core::scheduler_from_string(name);
+      if (!kind) return;  // parse() validated; unknown names are a no-op here
+      mp_client->connection().set_scheduler(*kind, weights);
+      for (core::MptcpConnection* c : mp_server->connections()) {
+        c->set_scheduler(*kind, weights);
+      }
+    };
   }
   injector.install(run_cfg.faults);
 
   const auto start_measurement = [&] {
+    if (multipath && run_cfg.streaming.has_value()) {
+      // Streaming workload: the session drives its own fetch cadence; the
+      // run ends when the last block lands (FetchResult stays empty).
+      stream_start = sim.now();
+      streaming = std::make_unique<app::StreamingSession>(sim, *mp_client,
+                                                          *run_cfg.streaming);
+      streaming->on_finished = [&done] { done = true; };
+      streaming->start();
+      return;
+    }
     const auto on_done = [&](const app::FetchResult& r) {
       fetch = r;
       done = true;
@@ -239,8 +267,19 @@ RunResult run_download(const TestbedConfig& testbed_cfg, const RunConfig& run_cf
 #endif
   result.wifi_energy_j = wifi_meter.energy_joules_total();
   result.cellular_energy_j = cell_meter.energy_joules_total();
-  result.download_time_s =
-      done ? (fetch.complete_time - fetch.first_syn_time).to_seconds() : run_cfg.timeout.to_seconds();
+  if (streaming != nullptr) {
+    // Streaming runs: wall time is session start -> last block delivered,
+    // and the playback-buffer telemetry rides along in sim_stats.
+    result.download_time_s =
+        done ? (sim.now() - stream_start).to_seconds() : run_cfg.timeout.to_seconds();
+    const app::StreamingResult& sr = streaming->result();
+    result.sim_stats.streaming_underruns = sr.underruns;
+    result.sim_stats.streaming_underrun_s = sr.underrun_time.to_seconds();
+    result.sim_stats.streaming_missed_frames = sr.deadline_missed_frames;
+  } else {
+    result.download_time_s =
+        done ? (fetch.complete_time - fetch.first_syn_time).to_seconds() : run_cfg.timeout.to_seconds();
+  }
 
   // Middlebox interference telemetry (only present when a scenario enabled
   // one on a link).

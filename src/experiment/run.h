@@ -4,9 +4,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "app/streaming.h"
 #include "core/connection.h"
 #include "experiment/testbed.h"
 #include "netem/faults.h"
@@ -22,6 +24,9 @@ struct RunConfig {
   PathMode mode{PathMode::kMptcp2};
   core::CcKind cc{core::CcKind::kCoupled};
   core::SchedulerKind scheduler{core::SchedulerKind::kMinRtt};
+  /// Per-subflow shares for the weighted scheduler (see
+  /// core::MptcpConfig::scheduler_weights).
+  std::vector<double> scheduler_weights;
   std::uint64_t file_bytes{512 * 1024};
   bool simultaneous_syns{false};
   bool penalization{false};
@@ -59,8 +64,14 @@ struct RunConfig {
   /// Interface down/up events additionally drive REMOVE_ADDR / re-join at
   /// the MPTCP client. A value type, so campaign runners (run_series /
   /// run_matrix) replay the same script in every repetition and the PR 1
-  /// determinism guarantee is preserved.
+  /// determinism guarantee is preserved. Connection-level `sched` events
+  /// switch the dispatch strategy of the client and server connections.
   netem::FaultSchedule faults;
+  /// Drive the paper's §6 streaming pattern (prefetch + periodic blocks)
+  /// instead of one bulk download; `file_bytes` is ignored. Multipath modes
+  /// only (the session runs over the MPTCP HTTP client). Underrun and
+  /// frame-deadline telemetry lands in RunResult::sim_stats.streaming_*.
+  std::optional<app::StreamingWorkload> streaming;
 };
 
 /// Per-interface aggregate (over all subflows using that interface).
@@ -102,6 +113,10 @@ struct RunResult {
   std::vector<double> ofo_ms;  // connection-level out-of-order delay samples
   std::uint64_t penalizations{0};
   std::uint64_t reinjections{0};
+  /// Chunks the redundant scheduler duplicated onto a second subflow
+  /// (0 under every other strategy) — the volume of deliberately
+  /// duplicated traffic, kept apart from loss-driven reinjections.
+  std::uint64_t redundant_chunks{0};
   /// Device radio energy over the measurement, including the post-transfer
   /// tail (energy extension, paper §6 future work).
   double wifi_energy_j{0};

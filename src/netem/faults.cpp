@@ -30,6 +30,7 @@ std::string to_string(FaultEvent::Kind k) {
     case FaultEvent::Kind::kIfaceDown: return "ifdown";
     case FaultEvent::Kind::kIfaceUp: return "ifup";
     case FaultEvent::Kind::kMiddlebox: return "mbox";
+    case FaultEvent::Kind::kScheduler: return "sched";
   }
   return "?";
 }
@@ -104,10 +105,22 @@ FaultSchedule& FaultSchedule::middlebox(double at_s, std::string link, std::stri
               .arg = std::move(spec)});
 }
 
+FaultSchedule& FaultSchedule::scheduler_change(double at_s, std::string name,
+                                               std::vector<double> weights) {
+  return add({.at = sim::Duration::from_seconds(at_s),
+              .link = "conn",
+              .kind = FaultEvent::Kind::kScheduler,
+              .arg = std::move(name),
+              .weights = std::move(weights)});
+}
+
 std::vector<std::string> FaultSchedule::unknown_links(
     std::initializer_list<std::string_view> known) const {
   std::vector<std::string> out;
   for (const FaultEvent& ev : events_) {
+    // Connection-level events use the pseudo-link "conn", never bound to an
+    // access network.
+    if (ev.kind == FaultEvent::Kind::kScheduler) continue;
     const bool bound = std::any_of(known.begin(), known.end(),
                                    [&](std::string_view k) { return ev.link == k; });
     if (!bound && std::find(out.begin(), out.end(), ev.link) == out.end()) {
@@ -139,10 +152,13 @@ FaultSchedule FaultSchedule::parse(std::istream& in, std::string* error) {
     if (!(tok >> link >> action)) return fail(line_no, "expected '<time_s> <link> <action>'");
     if (at_s < 0) return fail(line_no, "negative event time");
 
-    // "mbox" takes a textual subcommand before its numeric arguments.
+    // "mbox" and "sched" take a textual subcommand before their numeric
+    // arguments.
     std::string sub;
-    if (action == "mbox" && !(tok >> sub)) {
-      return fail(line_no, "mbox needs a subcommand (strip_syn, nat_seq, split, ...)");
+    if ((action == "mbox" || action == "sched") && !(tok >> sub)) {
+      return fail(line_no, action == "mbox"
+                               ? "mbox needs a subcommand (strip_syn, nat_seq, split, ...)"
+                               : "sched needs a strategy (minrtt, rr, weighted, redundant)");
     }
 
     std::vector<double> args;
@@ -199,6 +215,23 @@ FaultSchedule FaultSchedule::parse(std::istream& in, std::string* error) {
       } else {
         return fail(line_no, "unknown mbox subcommand '" + sub + "'");
       }
+    } else if (action == "sched") {
+      if (link != "conn") {
+        return fail(line_no, "sched is connection-level: use the pseudo-link 'conn'");
+      }
+      // The strategy name set is duplicated here (netem cannot see
+      // core::scheduler_from_string); the harness revalidates on apply.
+      if (sub != "minrtt" && sub != "rr" && sub != "roundrobin" && sub != "weighted" &&
+          sub != "redundant") {
+        return fail(line_no, "unknown scheduler '" + sub + "'");
+      }
+      if (sub != "weighted" && !need(0)) {
+        return fail(line_no, "sched " + sub + " takes no weights");
+      }
+      for (double w : args) {
+        if (w <= 0) return fail(line_no, "sched weights must be > 0");
+      }
+      out.scheduler_change(at_s, sub, args);
     } else {
       return fail(line_no, "unknown action '" + action + "'");
     }
@@ -242,6 +275,12 @@ void FaultInjector::install(const FaultSchedule& schedule) {
 }
 
 void FaultInjector::apply(const FaultEvent& ev) {
+  // Connection-level events never resolve to an access network.
+  if (ev.kind == FaultEvent::Kind::kScheduler) {
+    if (on_scheduler_change) on_scheduler_change(ev.arg, ev.weights);
+    ++applied_;
+    return;
+  }
   const auto it = links_.find(ev.link);
   if (it == links_.end() || it->second == nullptr) {
     ++unmatched_;
@@ -299,6 +338,8 @@ void FaultInjector::apply(const FaultEvent& ev) {
       }
       break;
     }
+    case FaultEvent::Kind::kScheduler:
+      break;  // handled above
   }
   ++applied_;
 }

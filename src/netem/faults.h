@@ -17,6 +17,12 @@
 //                             (netem::Middlebox): strip_syn | strip_join |
 //                             strip_all | nat_seq <off> | split <n> |
 //                             coalesce <hold_ms> | corrupt <n> | off
+//   * sched <name> [w...]   — switch the MPTCP dispatch strategy at runtime
+//                             (minrtt | rr | roundrobin | weighted |
+//                             redundant; weighted takes per-subflow shares).
+//                             Connection-level, so the link column is the
+//                             pseudo-link "conn"; the harness wires
+//                             on_scheduler_change to the MPTCP stack.
 //
 // Schedules are plain data (value type) and are replayed per run on that
 // run's simulation clock, so the PR 1 determinism guarantee holds: the same
@@ -36,6 +42,8 @@
 //   30.0      wifi  ifup
 //   0.0       wifi  mbox strip_syn
 //   0.0       cell  mbox corrupt 4
+//   5.0       conn  sched weighted 2 1
+//   15.0      conn  sched redundant
 #pragma once
 
 #include <cstdint>
@@ -63,13 +71,16 @@ struct FaultEvent {
     kIfaceDown,  // interface removal: outage + on_iface_down notification
     kIfaceUp,    // interface return: restore + on_iface_up notification
     kMiddlebox,  // configure the link's netem::Middlebox (`arg` = subcommand)
+    kScheduler,  // switch the MPTCP dispatch strategy (`arg` = name,
+                 // `weights` = per-subflow shares; link is "conn")
   };
 
   sim::Duration at;  // relative to FaultInjector::install()
   std::string link;  // schedule-level link name ("wifi", "cell", ...)
   Kind kind{Kind::kOutage};
   double a{0}, b{0}, c{0}, d{0};
-  std::string arg{};  // kMiddlebox subcommand (strip_syn, nat_seq, ...)
+  std::string arg{};  // kMiddlebox subcommand (strip_syn, ...) / kScheduler name
+  std::vector<double> weights{};  // kScheduler: weighted-strategy shares
 };
 
 [[nodiscard]] std::string to_string(FaultEvent::Kind k);
@@ -95,6 +106,11 @@ class FaultSchedule {
   /// `spec` is an mbox subcommand (strip_syn | strip_join | strip_all |
   /// nat_seq | split | coalesce | corrupt | off); `a` its numeric argument.
   FaultSchedule& middlebox(double at_s, std::string link, std::string spec, double a = 0);
+  /// Connection-level strategy switch (pseudo-link "conn"): `name` is a
+  /// scheduler name (minrtt | rr | roundrobin | weighted | redundant),
+  /// `weights` the weighted strategy's per-subflow shares.
+  FaultSchedule& scheduler_change(double at_s, std::string name,
+                                  std::vector<double> weights = {});
 
   [[nodiscard]] const std::vector<FaultEvent>& events() const { return events_; }
   [[nodiscard]] bool empty() const { return events_.empty(); }
@@ -135,6 +151,11 @@ class FaultInjector {
   /// part (blackout/restore) is applied by the injector either way.
   std::function<void(const std::string& link)> on_iface_down;
   std::function<void(const std::string& link)> on_iface_up;
+  /// Connection-level scheduler switch (`sched` events). String-based so
+  /// netem stays independent of core: the harness resolves `name` with
+  /// core::scheduler_from_string and applies it to its MPTCP connections.
+  std::function<void(const std::string& name, const std::vector<double>& weights)>
+      on_scheduler_change;
 
   /// Schedules every event of `schedule` at `now + event.at`.
   void install(const FaultSchedule& schedule);

@@ -53,4 +53,97 @@ void RenoFamilyCc::on_rto(FlowCc& flow) {
 #endif
 }
 
+// ---------------------------------------------------------------------------
+// Vegas.
+
+void VegasCc::register_flow(FlowCc& flow) {
+  CongestionControl::register_flow(flow);
+  states_.emplace(&flow, State{});
+}
+
+void VegasCc::unregister_flow(FlowCc& flow) {
+  CongestionControl::unregister_flow(flow);
+  states_.erase(&flow);
+}
+
+void VegasCc::on_ack(FlowCc& flow, std::uint64_t acked_bytes) {
+  const auto it = states_.find(&flow);
+  if (it == states_.end()) return;
+  State& st = it->second;
+
+  const sim::Duration rtt = flow.srtt();
+  if (st.base_rtt.ns() == 0 || rtt < st.base_rtt) st.base_rtt = rtt;
+
+  if (flow.in_slow_start()) {
+    // Byte-counted slow start (RFC 5681 §3.1), clamped at ssthresh; the
+    // delay signal decides below — once per epoch — whether to leave it.
+    const double headroom =
+        static_cast<double>(flow.ssthresh_bytes()) - flow.cwnd_bytes();
+    flow.set_cwnd_bytes(flow.cwnd_bytes() +
+                        std::min(static_cast<double>(acked_bytes),
+                                 std::max(headroom, 0.0)));
+  }
+
+  // One Vegas decision per RTT: wait until a window's worth of bytes has
+  // been acknowledged since the last adjustment.
+  st.epoch_bytes += acked_bytes;
+  if (static_cast<double>(st.epoch_bytes) < flow.cwnd_bytes()) return;
+  st.epoch_bytes = 0;
+
+  const double rtt_ns = static_cast<double>(rtt.ns());
+  const double base_ns = static_cast<double>(st.base_rtt.ns());
+  if (rtt_ns <= 0) return;
+  const double mss = static_cast<double>(flow.mss());
+  const double cwnd = flow.cwnd_bytes();
+  const double diff_pkts = (cwnd / mss) * (rtt_ns - base_ns) / rtt_ns;
+
+  if (flow.in_slow_start()) {
+    if (diff_pkts > kGammaPkts) {
+      // Queue is forming: exit slow start here instead of waiting for loss.
+      flow.set_ssthresh_bytes(static_cast<std::uint64_t>(cwnd));
+    }
+    return;
+  }
+
+  double delta = 0.0;
+  if (diff_pkts < kAlphaPkts) {
+    delta = mss;  // pipe under-filled: probe for more
+  } else if (diff_pkts > kBetaPkts) {
+    delta = -mss;  // queue building: back off before loss does it for us
+  }
+  if (delta != 0.0) flow.set_cwnd_bytes(cwnd + delta);
+#if MPR_AUDIT
+  check::cc_vegas_adjust(delta, flow.mss(), flow.cwnd_bytes());
+  check::cc_bounds(flow.cwnd_bytes(), flow.ssthresh_bytes(), flow.mss());
+#endif
+}
+
+void VegasCc::on_loss_event(FlowCc& flow) {
+  const double floor = 2.0 * flow.mss();
+  const double halved = std::max(flow.cwnd_bytes() / 2.0, floor);
+  flow.set_ssthresh_bytes(static_cast<std::uint64_t>(halved));
+  flow.set_cwnd_bytes(halved);
+  if (const auto it = states_.find(&flow); it != states_.end()) {
+    it->second.epoch_bytes = 0;
+  }
+#if MPR_AUDIT
+  check::cc_bounds(flow.cwnd_bytes(), flow.ssthresh_bytes(), flow.mss());
+#endif
+}
+
+void VegasCc::on_rto(FlowCc& flow) {
+  const double half_flight =
+      std::max(static_cast<double>(flow.bytes_in_flight()) / 2.0, 2.0 * flow.mss());
+  flow.set_ssthresh_bytes(static_cast<std::uint64_t>(half_flight));
+  flow.set_cwnd_bytes(static_cast<double>(flow.mss()));
+  if (const auto it = states_.find(&flow); it != states_.end()) {
+    it->second.epoch_bytes = 0;
+    // The path may have changed across an outage; relearn the floor.
+    it->second.base_rtt = sim::Duration{};
+  }
+#if MPR_AUDIT
+  check::cc_bounds(flow.cwnd_bytes(), flow.ssthresh_bytes(), flow.mss());
+#endif
+}
+
 }  // namespace mpr::tcp

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/time.h"
@@ -94,6 +95,39 @@ class NewRenoCc final : public RenoFamilyCc {
     return static_cast<double>(flow.mss()) * static_cast<double>(acked_bytes) /
            flow.cwnd_bytes();
   }
+};
+
+/// TCP Vegas (Brakmo & Peterson '95), simplified to the per-RTT-epoch form:
+/// once per window of acked bytes, estimate the packets queued in the
+/// network as diff = (w/MSS)·(rtt - base_rtt)/rtt and nudge the window by
+/// one MSS — up when diff < alpha (the pipe is under-filled), down when
+/// diff > beta (we are building queue). Slow start is byte-counted like
+/// Reno but exits as soon as diff exceeds gamma, well before loss. Loss
+/// handling stays Reno (halve on a loss event, collapse to 1 MSS on RTO):
+/// delay only modulates congestion avoidance. Uncoupled across subflows —
+/// each registered flow keeps its own base-RTT estimate, so on MPTCP the
+/// WiFi and cellular paths probe their queues independently.
+class VegasCc final : public CongestionControl {
+ public:
+  void register_flow(FlowCc& flow) override;
+  void unregister_flow(FlowCc& flow) override;
+  void on_ack(FlowCc& flow, std::uint64_t acked_bytes) override;
+  void on_loss_event(FlowCc& flow) override;
+  void on_rto(FlowCc& flow) override;
+
+ private:
+  struct State {
+    sim::Duration base_rtt{};      // min smoothed RTT seen (zero = no sample)
+    std::uint64_t epoch_bytes{0};  // acked bytes toward the current epoch
+  };
+  // Per-flow lookup only, never iterated: deterministic regardless of hash
+  // order (same pattern as OliaCc::paths_).
+  std::unordered_map<const FlowCc*, State> states_;
+
+  // Thresholds in packets of estimated queue occupancy (Vegas defaults).
+  static constexpr double kAlphaPkts = 2.0;
+  static constexpr double kBetaPkts = 4.0;
+  static constexpr double kGammaPkts = 1.0;
 };
 
 }  // namespace mpr::tcp

@@ -104,6 +104,11 @@ class TcpEndpoint : public FlowCc {
   }
   [[nodiscard]] std::uint64_t bytes_in_flight() const override;
 
+  /// Whether the congestion and peer windows admit more data right now.
+  /// Exposed so MPTCP schedulers can push window-exhausted subflows to the
+  /// back of the pumping order instead of stranding fresh chunks on them.
+  [[nodiscard]] bool has_window_space() const { return bytes_in_flight() < send_window(); }
+
   /// Re-evaluates whether more segments can be sent (public so the MPTCP
   /// scheduler can pump subflows when new connection-level data arrives).
   void pump();

@@ -5,6 +5,7 @@
 // end-to-end tests (hooks armed inside the simulator) are audit-gated.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -244,6 +245,87 @@ TEST(CcAudit, OliaCapToleratesRateBalancingTerm) {
   EXPECT_EQ(cap.seen().size(), 2u);
 }
 
+TEST(CcAudit, VegasStepWithinOneMssIsClean) {
+  Capture cap;
+  cc_vegas_adjust(/*delta_bytes=*/1400.0, /*mss=*/1400, /*cwnd_bytes=*/14000.0);
+  cc_vegas_adjust(-1400.0, 1400, 14000.0);
+  cc_vegas_adjust(0.0, 1400, 14000.0);
+  EXPECT_TRUE(cap.seen().empty());
+}
+
+TEST(CcAudit, VegasStepBeyondOneMssIsViolation) {
+  Capture cap;
+  // Corruption: a delay-based adjustment jumping by two MSS in one epoch.
+  cc_vegas_adjust(/*delta_bytes=*/2800.0, /*mss=*/1400, /*cwnd_bytes=*/14000.0);
+  EXPECT_TRUE(cap.saw("cc.vegas_adjust"));
+}
+
+TEST(CcAudit, VegasCwndBelowFloorIsViolation) {
+  Capture cap;
+  cc_vegas_adjust(/*delta_bytes=*/-1400.0, /*mss=*/1400, /*cwnd_bytes=*/700.0);
+  EXPECT_TRUE(cap.saw("cc.vegas_adjust"));
+}
+
+// --- scheduler --------------------------------------------------------------
+
+TEST(SchedAudit, PositiveFiniteWeightsAreClean) {
+  Capture cap;
+  scheduler_weights_valid({}, 1);
+  scheduler_weights_valid({1.0, 3.5, 0.25}, 1);
+  EXPECT_TRUE(cap.seen().empty());
+}
+
+TEST(SchedAudit, NonPositiveOrNanWeightIsViolation) {
+  Capture cap;
+  scheduler_weights_valid({1.0, 0.0}, 1);  // corruption: zero share
+  EXPECT_TRUE(cap.saw("sched.weights"));
+  scheduler_weights_valid({-2.0}, 1);
+  scheduler_weights_valid({std::nan("")}, 1);
+  EXPECT_EQ(cap.seen().size(), 3u);
+}
+
+TEST(SchedAudit, StarvedSubflowAheadOfSpaceIsViolation) {
+  Capture cap;
+  // Space-partitioned order: both fine...
+  scheduler_pump_order({{true, 10, 0.0}, {false, 20, 0.0}},
+                       /*partition_by_space=*/true, /*order_by_srtt=*/false, 1, 10);
+  EXPECT_TRUE(cap.seen().empty());
+  // ...corruption: a cwnd-exhausted subflow pumped before one with space
+  // (the exact round-robin bug this PR fixes).
+  scheduler_pump_order({{false, 10, 0.0}, {true, 20, 0.0}},
+                       /*partition_by_space=*/true, /*order_by_srtt=*/false, 1, 20);
+  EXPECT_TRUE(cap.saw("sched.starvation"));
+}
+
+TEST(SchedAudit, SrttRegressionInMinRttOrderIsViolation) {
+  Capture cap;
+  scheduler_pump_order({{true, 10, 0.0}, {true, 30, 0.0}},
+                       /*partition_by_space=*/false, /*order_by_srtt=*/true, 1, 10);
+  EXPECT_TRUE(cap.seen().empty());
+  scheduler_pump_order({{true, 30, 0.0}, {true, 10, 0.0}},
+                       /*partition_by_space=*/false, /*order_by_srtt=*/true, 1, 20);
+  EXPECT_TRUE(cap.saw("sched.order"));
+}
+
+TEST(SchedAudit, DeficitRegressionInRoundRobinOrderIsViolation) {
+  Capture cap;
+  scheduler_pump_order({{true, 0, 100.0}, {true, 0, 200.0}, {false, 0, 50.0}},
+                       /*partition_by_space=*/true, /*order_by_srtt=*/false, 1, 10);
+  EXPECT_TRUE(cap.seen().empty());
+  // Corruption: within the has-space class the deficit runs backwards.
+  scheduler_pump_order({{true, 0, 200.0}, {true, 0, 100.0}},
+                       /*partition_by_space=*/true, /*order_by_srtt=*/false, 1, 20);
+  EXPECT_TRUE(cap.saw("sched.order"));
+}
+
+TEST(SchedAudit, RedundantCopyBackToOriginIsViolation) {
+  Capture cap;
+  redundant_duplicate(/*origin=*/0, /*target=*/1, 1, 2800, 10);
+  EXPECT_TRUE(cap.seen().empty());
+  redundant_duplicate(/*origin=*/1, /*target=*/1, 1, 2800, 20);  // corruption
+  EXPECT_TRUE(cap.saw("sched.redundant_origin"));
+}
+
 // --- state machines ---------------------------------------------------------
 
 TEST(TransitionAudit, IllegalEdgeIsViolation) {
@@ -300,6 +382,62 @@ TEST(AuditE2E, DownloadRunsCleanWithHooksArmed) {
   // never wired -- as much of a bug as a violation.
   EXPECT_GT(r.sim_stats.audit_checks, 0u);
   EXPECT_EQ(violations_total(), violations_before);
+#endif
+}
+
+TEST(AuditE2E, VegasDownloadRunsCleanWithHooksArmed) {
+#if !MPR_AUDIT
+  GTEST_SKIP() << "requires -DMPR_AUDIT=ON";
+#else
+  const std::uint64_t violations_before = violations_total();
+  experiment::TestbedConfig tb;
+  experiment::RunConfig rc;
+  rc.mode = experiment::PathMode::kMptcp2;
+  rc.cc = core::CcKind::kVegas;
+  rc.file_bytes = 512 << 10;
+  const experiment::RunResult r = experiment::run_download(tb, rc);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.sim_stats.audit_checks, 0u);
+  EXPECT_EQ(violations_total(), violations_before);
+#endif
+}
+
+TEST(AuditE2E, WeightedAndRedundantSurviveFaultsAndMiddleboxes) {
+#if !MPR_AUDIT
+  GTEST_SKIP() << "requires -DMPR_AUDIT=ON";
+#else
+  // The hostile end-to-end case for the new schedulers: a WiFi blackout, a
+  // bursty-loss episode, segment split/coalesce middleboxes AND a mid-run
+  // strategy switch, with every checker armed (throwing handler). Delivery
+  // must stay exactly-once and violation-free.
+  for (const core::SchedulerKind sched :
+       {core::SchedulerKind::kWeighted, core::SchedulerKind::kRedundant}) {
+    const std::uint64_t violations_before = violations_total();
+    experiment::TestbedConfig tb;
+    experiment::RunConfig rc;
+    rc.mode = experiment::PathMode::kMptcp2;
+    rc.scheduler = sched;
+    if (sched == core::SchedulerKind::kWeighted) rc.scheduler_weights = {3.0, 1.0};
+    rc.file_bytes = 1 << 20;
+    rc.faults.outage(1.0, "wifi")
+        .restore(3.0, "wifi")
+        .burst_loss(4.0, "cell",
+                    {.p_good_to_bad = 0.1, .p_bad_to_good = 0.3, .loss_good = 0.01,
+                     .loss_bad = 0.4})
+        .loss_clear(6.0, "cell")
+        .middlebox(0.0, "wifi", "split", 2)
+        .middlebox(0.0, "cell", "coalesce", 2)
+        .scheduler_change(2.0, "rr")
+        .scheduler_change(5.0, to_string(sched),
+                          sched == core::SchedulerKind::kWeighted
+                              ? std::vector<double>{3.0, 1.0}
+                              : std::vector<double>{});
+    const experiment::RunResult r = experiment::run_download(tb, rc);
+    ASSERT_TRUE(r.completed) << to_string(sched);
+    EXPECT_EQ(r.delivered_bytes, rc.file_bytes) << to_string(sched);
+    EXPECT_GT(r.sim_stats.audit_checks, 0u);
+    EXPECT_EQ(violations_total(), violations_before) << to_string(sched);
+  }
 #endif
 }
 

@@ -108,7 +108,8 @@ TEST_P(MptcpConfigSweep, SubflowBytesCoverConnectionBytes) {
   const Outcome out = run_one(Carrier::kAtt, mode, cc, sched, simsyn, 2 << 20, 8);
   ASSERT_TRUE(out.completed);
   // Subflow-level in-order deliveries feed the connection buffer; the sum
-  // can exceed the object only by duplicated (reinjected) data.
+  // can exceed the object only by duplicated (reinjected or
+  // redundant-scheduled) data, which the reorder buffer counts.
   EXPECT_GE(out.subflow_delivered_sum, out.conn_delivered);
   EXPECT_LE(out.subflow_delivered_sum,
             out.conn_delivered + out.duplicates * 1400 + 64 * 1024);
@@ -135,8 +136,10 @@ TEST_P(MptcpConfigSweep, DeterministicForSeed) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllConfigs, MptcpConfigSweep,
-    ::testing::Combine(::testing::Values(CcKind::kReno, CcKind::kCoupled, CcKind::kOlia),
-                       ::testing::Values(SchedulerKind::kMinRtt, SchedulerKind::kRoundRobin),
+    ::testing::Combine(::testing::Values(CcKind::kReno, CcKind::kCoupled, CcKind::kOlia,
+                                         CcKind::kVegas),
+                       ::testing::Values(SchedulerKind::kMinRtt, SchedulerKind::kRoundRobin,
+                                         SchedulerKind::kWeighted, SchedulerKind::kRedundant),
                        ::testing::Values(PathMode::kMptcp2, PathMode::kMptcp4),
                        ::testing::Bool()),
     [](const ::testing::TestParamInfo<MpParams>& info) {

@@ -7,8 +7,9 @@
 // Flags:
 //   --mode     sp-wifi | sp-cell | mp2 | mp4        (default mp2)
 //   --carrier  att | verizon | sprint               (default att)
-//   --cc       coupled | olia | reno                (default coupled)
-//   --sched    minrtt | rr                          (default minrtt)
+//   --cc       coupled | olia | reno | vegas       (default coupled)
+//   --sched    minrtt | rr | weighted[:w1,w2,...] | redundant   (default minrtt)
+//              weighted takes per-subflow shares, e.g. --sched weighted:2,1
 //   --size     object bytes, k/m/g suffixes         (default 4m)
 //   --seed     RNG seed                             (default 1)
 //   --hotspot  use the public coffee-shop WiFi profile
@@ -55,7 +56,41 @@ Carrier parse_carrier(const std::string& s) {
 core::CcKind parse_cc(const std::string& s) {
   if (s == "olia") return core::CcKind::kOlia;
   if (s == "reno") return core::CcKind::kReno;
+  if (s == "vegas") return core::CcKind::kVegas;
   return core::CcKind::kCoupled;
+}
+
+/// Parses `--sched` (name, optionally `weighted:w1,w2,...`) into the config.
+/// Returns false on an unknown name or malformed weight list.
+bool parse_sched(const std::string& spec, RunConfig& rc) {
+  std::string name = spec;
+  std::string weight_list;
+  if (const std::size_t colon = spec.find(':'); colon != std::string::npos) {
+    name = spec.substr(0, colon);
+    weight_list = spec.substr(colon + 1);
+  }
+  const auto kind = core::scheduler_from_string(name);
+  if (!kind) return false;
+  rc.scheduler = *kind;
+  rc.scheduler_weights.clear();
+  if (weight_list.empty()) return true;
+  if (*kind != core::SchedulerKind::kWeighted) return false;
+  std::size_t pos = 0;
+  while (pos <= weight_list.size()) {
+    const std::size_t comma = weight_list.find(',', pos);
+    const std::string tok =
+        weight_list.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    try {
+      const double w = std::stod(tok);
+      if (w <= 0) return false;
+      rc.scheduler_weights.push_back(w);
+    } catch (...) {
+      return false;
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return !rc.scheduler_weights.empty();
 }
 
 void print_json(const RunResult& r) {
@@ -65,13 +100,14 @@ void print_json(const RunResult& r) {
       "\"wifi\":{\"bytes\":%llu,\"loss\":%.5f,\"rtt_samples\":%zu},"
       "\"cellular\":{\"bytes\":%llu,\"loss\":%.5f,\"rtt_samples\":%zu},"
       "\"energy_j\":{\"wifi\":%.3f,\"cellular\":%.3f},"
-      "\"reinjections\":%llu,\"penalizations\":%llu}\n",
+      "\"reinjections\":%llu,\"redundant_chunks\":%llu,\"penalizations\":%llu}\n",
       r.completed ? "true" : "false", to_string(r.outcome).c_str(), r.download_time_s,
       r.cellular_fraction(),
       static_cast<unsigned long long>(r.wifi.bytes_received), r.wifi.loss_rate(),
       r.wifi.rtt_ms.size(), static_cast<unsigned long long>(r.cellular.bytes_received),
       r.cellular.loss_rate(), r.cellular.rtt_ms.size(), r.wifi_energy_j, r.cellular_energy_j,
       static_cast<unsigned long long>(r.reinjections),
+      static_cast<unsigned long long>(r.redundant_chunks),
       static_cast<unsigned long long>(r.penalizations));
 }
 
@@ -126,8 +162,13 @@ int main(int argc, char** argv) {
   RunConfig rc;
   rc.mode = parse_mode(flags.get("mode", "mp2"));
   rc.cc = parse_cc(flags.get("cc", "coupled"));
-  rc.scheduler = flags.get("sched", "minrtt") == "rr" ? core::SchedulerKind::kRoundRobin
-                                                      : core::SchedulerKind::kMinRtt;
+  if (const std::string sched = flags.get("sched", "minrtt"); !parse_sched(sched, rc)) {
+    std::fprintf(stderr,
+                 "mpr_run: --sched %s: expected minrtt | rr | roundrobin | "
+                 "weighted[:w1,w2,...] | redundant\n",
+                 sched.c_str());
+    return 1;
+  }
   rc.file_bytes = flags.get_size("size", 4 << 20);
   rc.simultaneous_syns = flags.get_bool("simsyn");
   rc.cellular_backup = flags.get_bool("backup");
