@@ -192,6 +192,75 @@ BENCHMARK(BM_CongestionOnAck<core::OliaCc>);
 
 // Packet-path microbenches: the pool recycle loop and a saturated link.
 
+void BM_PacketScan(benchmark::State& state) {
+  // The queue-admission / drop-decision / energy-accounting pattern: walk a
+  // population of in-flight packets reading wire_bytes() on each. With the
+  // hot/cold split this touches only the first cache line per packet (cold
+  // option sizes are cached at set/clear time); before it, the scan chased
+  // seven std::optional members spread over the whole struct.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<net::Packet> packets(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    net::Packet& p = packets[i];
+    p.payload_bytes = 1400;
+    p.tcp.seq = i * 1400;
+    net::DssOption& dss = p.tcp.ensure_dss();
+    dss.dsn = i * 1400;
+    dss.length = 1400;
+    if (i % 16 == 0) p.tcp.set_mp_capable(net::MpCapableOption{1, 2});  // rare cold option
+    if (i % 4 == 0) p.tcp.sack.push_back(net::SackBlock{0, 1400});
+  }
+  for (auto _ : state) {
+    std::uint64_t bytes = 0;
+    for (const net::Packet& p : packets) bytes += p.wire_bytes();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.counters["sizeof_Packet"] = sizeof(net::Packet);
+  state.counters["sizeof_TcpSegment"] = sizeof(net::TcpSegment);
+}
+BENCHMARK(BM_PacketScan)->Arg(1024)->Arg(65536);
+
+void BM_SegmentOptionAccess(benchmark::State& state) {
+  // The receive-side process_options pattern: every packet is interrogated
+  // for its DSS mapping, and the cold options only behind the one-byte
+  // has_any_option() gate. Packets alternate data (DSS only) and bare ACKs.
+  constexpr std::size_t kPackets = 4096;
+  std::vector<net::Packet> packets(kPackets);
+  for (std::size_t i = 0; i < kPackets; ++i) {
+    net::Packet& p = packets[i];
+    if (i % 2 == 0) {
+      p.payload_bytes = 1400;
+      net::DssOption& dss = p.tcp.ensure_dss();
+      dss.dsn = i * 1400;
+      dss.length = 1400;
+      dss.has_data_ack = true;
+      dss.data_ack = i * 700;
+    }
+    if (i % 64 == 0) p.tcp.set_add_addr(net::AddAddrOption{net::IpAddr{9}, 1});
+  }
+  for (auto _ : state) {
+    std::uint64_t dsn_sum = 0;
+    std::uint64_t cold_hits = 0;
+    for (net::Packet& p : packets) {
+      if (const net::DssOption* dss = p.tcp.dss()) dsn_sum += dss->dsn;
+      if (p.tcp.has_any_option()) {
+        if (p.tcp.mp_capable() != nullptr) ++cold_hits;
+        if (p.tcp.mp_join() != nullptr) ++cold_hits;
+        if (p.tcp.add_addr() != nullptr) ++cold_hits;
+        if (p.tcp.remove_addr() != nullptr) ++cold_hits;
+        if (p.tcp.mp_prio() != nullptr) ++cold_hits;
+        if (p.tcp.mp_fail() != nullptr) ++cold_hits;
+      }
+    }
+    benchmark::DoNotOptimize(dsn_sum);
+    benchmark::DoNotOptimize(cold_hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kPackets);
+}
+BENCHMARK(BM_SegmentOptionAccess);
+
 void BM_PacketPoolAcquireRelease(benchmark::State& state) {
   net::PacketPool pool;
   // Prime: steady state never sees a pool miss.

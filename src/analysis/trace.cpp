@@ -27,7 +27,7 @@ void PacketTrace::append(const net::TraceEvent& ev) {
   r.flags = ev.packet.tcp.flags;
   r.payload = ev.packet.payload_bytes;
   r.is_retransmit = ev.packet.is_retransmit;
-  r.dss = ev.packet.tcp.dss;
+  r.dss = ev.packet.tcp.dss_opt();
   records_.push_back(r);
 }
 

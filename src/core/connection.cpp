@@ -150,8 +150,8 @@ MptcpConnection::MptcpConnection(net::Host& host, MptcpConfig config,
       cc_{make_congestion_control(config.cc)},
       scheduler_{make_scheduler(config.scheduler, config.scheduler_weights)},
       rx_{config.receive_buffer} {
-  assert(capable_syn.tcp.mp_capable.has_value());
-  remote_key_ = capable_syn.tcp.mp_capable->sender_key;
+  assert(capable_syn.tcp.mp_capable() != nullptr);
+  remote_key_ = capable_syn.tcp.mp_capable()->sender_key;
   known_remote_addrs_.push_back(capable_syn.src);
   local_addrs_ = host.addrs();
   first_syn_time_ = host.sim().now();
@@ -273,7 +273,8 @@ void MptcpConnection::on_remote_add_addr(net::IpAddr addr) {
 
 void MptcpConnection::accept_join(const net::Packet& join_syn) {
   assert(role_ == Role::kServer);
-  const bool backup = join_syn.tcp.mp_join && join_syn.tcp.mp_join->backup;
+  const net::MpJoinOption* join = join_syn.tcp.mp_join();
+  const bool backup = join != nullptr && join->backup;
   MptcpSubflow& sf = create_subflow(net::SocketAddr{join_syn.dst, join_syn.tcp.dst_port},
                                     net::SocketAddr{join_syn.src, join_syn.tcp.src_port},
                                     MptcpSubflow::HandshakeKind::kJoin, backup);
@@ -305,15 +306,17 @@ void MptcpConnection::on_subflow_established(MptcpSubflow& sf) {
 void MptcpConnection::decorate_extra(MptcpSubflow& sf, net::Packet& p) {
   if (add_addr_pending_ && sf.kind() == MptcpSubflow::HandshakeKind::kCapable &&
       !advertise_addrs_.empty()) {
-    p.tcp.add_addr = net::AddAddrOption{advertise_addrs_[0], 1};
+    p.tcp.set_add_addr(net::AddAddrOption{advertise_addrs_[0], 1});
   }
-  if (remove_addr_pending_) p.tcp.remove_addr = *remove_addr_pending_;
-  if (pending_mp_fail_) p.tcp.mp_fail = net::MpFailOption{*pending_mp_fail_, pending_mp_fail_rst_};
+  if (remove_addr_pending_) p.tcp.set_remove_addr(*remove_addr_pending_);
+  if (pending_mp_fail_) {
+    p.tcp.set_mp_fail(net::MpFailOption{*pending_mp_fail_, pending_mp_fail_rst_});
+  }
   // Keep signalling DATA_FIN until the peer has seen the whole stream
   // (receivers treat repeats as idempotent).
-  if (data_fin_sent_ && app_pending_ == 0 && p.tcp.dss) {
-    p.tcp.dss->data_fin = true;
-    if (p.tcp.dss->length == 0) p.tcp.dss->dsn = data_snd_nxt_;
+  if (net::DssOption* dss = p.tcp.dss(); dss != nullptr && data_fin_sent_ && app_pending_ == 0) {
+    dss->data_fin = true;
+    if (dss->length == 0) dss->dsn = data_snd_nxt_;
   }
 }
 

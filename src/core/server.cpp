@@ -41,8 +41,8 @@ void MptcpServer::refuse_plain_syn(const net::Packet& syn) {
 }
 
 void MptcpServer::on_syn(const net::Packet& syn) {
-  if (syn.tcp.mp_join) {
-    const auto it = by_token_.find(syn.tcp.mp_join->token);
+  if (const net::MpJoinOption* join = syn.tcp.mp_join()) {
+    const auto it = by_token_.find(join->token);
     if (it == by_token_.end()) {
       // Join for an unknown connection (e.g. simultaneous SYN racing ahead
       // of the MP_CAPABLE SYN): drop; the client retransmits.
@@ -52,7 +52,7 @@ void MptcpServer::on_syn(const net::Packet& syn) {
     it->second->accept_join(syn);
     return;
   }
-  if (!syn.tcp.mp_capable) {
+  if (syn.tcp.mp_capable() == nullptr) {
     // A middlebox stripped MP_CAPABLE (or the client is plain TCP): accept
     // as single-path TCP, or refuse explicitly — never a silent drop.
     if (!config_.allow_tcp_fallback) {

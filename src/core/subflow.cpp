@@ -32,55 +32,64 @@ void MptcpSubflow::decorate_outgoing(net::Packet& p) {
       net::MpCapableOption cap;
       cap.sender_key = conn_.local_key();
       if (p.tcp.has(net::kFlagAck)) cap.receiver_key = conn_.remote_key();
-      p.tcp.mp_capable = cap;
+      p.tcp.set_mp_capable(cap);
     } else {
-      p.tcp.mp_join = net::MpJoinOption{conn_.token(), id_, backup_};
+      p.tcp.set_mp_join(net::MpJoinOption{conn_.token(), id_, backup_});
     }
     return;  // no DSS on SYNs
   }
-  if (!p.tcp.dss) p.tcp.dss = net::DssOption{};
-  p.tcp.dss->data_ack = conn_.data_rcv_nxt();
-  p.tcp.dss->has_data_ack = true;
-  if (conn_.config().dss_checksum && p.tcp.dss->length > 0) {
-    p.tcp.dss->has_checksum = true;
-    p.tcp.dss->checksum = net::dss_checksum(p.tcp.dss->dsn, p.tcp.dss->length);
+  net::DssOption& dss = p.tcp.ensure_dss();
+  dss.data_ack = conn_.data_rcv_nxt();
+  dss.has_data_ack = true;
+  if (conn_.config().dss_checksum && dss.length > 0) {
+    dss.has_checksum = true;
+    dss.checksum = net::dss_checksum(dss.dsn, dss.length);
   }
-  if (prio_dirty_) p.tcp.mp_prio = net::MpPrioOption{backup_};
+  if (prio_dirty_) p.tcp.set_mp_prio(net::MpPrioOption{backup_});
   conn_.decorate_extra(*this, p);
 }
 
 void MptcpSubflow::process_options(const net::Packet& p) {
   conn_.note_peer_window(p.tcp.wnd);
   if (conn_.plain_fallback()) return;
-  if (p.tcp.dss) conn_.note_dss_seen();
+  const net::DssOption* dss = p.tcp.dss();
+  if (dss != nullptr) conn_.note_dss_seen();
   if (p.tcp.has(net::kFlagSyn)) {
-    if ((kind_ == HandshakeKind::kCapable && p.tcp.mp_capable) ||
-        (kind_ == HandshakeKind::kJoin && p.tcp.mp_join)) {
+    if ((kind_ == HandshakeKind::kCapable && p.tcp.mp_capable() != nullptr) ||
+        (kind_ == HandshakeKind::kJoin && p.tcp.mp_join() != nullptr)) {
       peer_confirmed_ = true;
     }
-  } else if (!p.tcp.has(net::kFlagRst) && !p.tcp.dss) {
+  } else if (!p.tcp.has(net::kFlagRst) && dss == nullptr) {
     // An established peer speaking without any DSS: it fell back (or a
     // strict proxy strips every option). Mirror the decision if eligible.
     conn_.on_plain_packet(*this);
     if (conn_.plain_fallback()) return;
   }
-  if (p.tcp.mp_capable && p.tcp.has(net::kFlagSyn) && p.tcp.has(net::kFlagAck)) {
-    conn_.set_remote_key(p.tcp.mp_capable->sender_key);
+  // The rare (cold-block) options are all gated on one presence-mask test,
+  // so a plain data/ACK packet skips the cold cache lines entirely.
+  if (p.tcp.has_any_option()) {
+    if (const net::MpCapableOption* cap = p.tcp.mp_capable();
+        cap != nullptr && p.tcp.has(net::kFlagSyn) && p.tcp.has(net::kFlagAck)) {
+      conn_.set_remote_key(cap->sender_key);
+    }
+    if (const net::MpFailOption* fail = p.tcp.mp_fail()) {
+      conn_.on_remote_mp_fail(*this, fail->dsn, fail->subflow_closed);
+    }
+    if (const net::AddAddrOption* add = p.tcp.add_addr()) {
+      conn_.on_remote_add_addr(add->addr);
+    }
+    if (const net::RemoveAddrOption* rem = p.tcp.remove_addr()) {
+      conn_.on_remote_remove_addr(rem->addr, rem->generation);
+    }
+    if (const net::MpPrioOption* prio = p.tcp.mp_prio();
+        prio != nullptr && prio->backup != backup_) {
+      backup_ = prio->backup;
+      conn_.on_priority_change();
+    }
   }
-  if (p.tcp.mp_fail) {
-    conn_.on_remote_mp_fail(*this, p.tcp.mp_fail->dsn, p.tcp.mp_fail->subflow_closed);
-  }
-  if (p.tcp.add_addr) conn_.on_remote_add_addr(p.tcp.add_addr->addr);
-  if (p.tcp.remove_addr) {
-    conn_.on_remote_remove_addr(p.tcp.remove_addr->addr, p.tcp.remove_addr->generation);
-  }
-  if (p.tcp.mp_prio && p.tcp.mp_prio->backup != backup_) {
-    backup_ = p.tcp.mp_prio->backup;
-    conn_.on_priority_change();
-  }
-  if (p.tcp.dss && p.tcp.dss->has_data_ack) conn_.on_data_ack(p.tcp.dss->data_ack);
-  if (p.tcp.dss && p.tcp.dss->data_fin && p.payload_bytes == 0) {
-    conn_.on_data_fin_signal(p.tcp.dss->dsn);
+  if (dss != nullptr && dss->has_data_ack) conn_.on_data_ack(dss->data_ack);
+  if (dss != nullptr && dss->data_fin && p.payload_bytes == 0) {
+    conn_.on_data_fin_signal(dss->dsn);
   }
 }
 

@@ -7,6 +7,8 @@
 //   * GilbertElliottLoss — two-state bursty loss (good/bad channel).
 #pragma once
 
+#include <cmath>
+#include <cstdint>
 #include <memory>
 
 #include "sim/rng.h"
@@ -35,12 +37,48 @@ class AlwaysDrop final : public LossModel {
 class BernoulliLoss final : public LossModel {
  public:
   BernoulliLoss(double probability, sim::Rng rng)
-      : p_{probability}, rng_{std::move(rng)} {}
-  [[nodiscard]] bool should_drop() override { return rng_.chance(p_); }
+      : gate_{probability}, rng_{std::move(rng)} {}
+
+  [[nodiscard]] bool should_drop() override {
+    if (!geometric_skip_) return gate_.sample(rng_);
+    if (!skip_valid_) {
+      skip_ = next_gap();
+      skip_valid_ = true;
+    }
+    if (skip_ == 0) {
+      skip_valid_ = false;
+      return true;
+    }
+    --skip_;
+    return false;
+  }
+
+  /// Opt-in (default off): sample the *gap to the next drop* geometrically
+  /// — one engine draw per drop instead of one per packet. The drop pattern
+  /// is distributionally identical to per-packet Bernoulli(p) sampling
+  /// (pinned by LossTest.GeometricSkipMatchesBernoulliDistribution) but the
+  /// RNG draw sequence differs, so runs are not bit-comparable to the
+  /// default mode. No-op for degenerate p.
+  void enable_geometric_skip() {
+    if (!gate_.draws()) return;  // p in {0, 1} never draws in either mode
+    geometric_skip_ = true;
+    log1m_p_ = std::log1p(-gate_.p());
+  }
 
  private:
-  double p_;
+  /// Packets that pass before the next drop: floor(log(1-u)/log(1-p)).
+  /// P(gap = 0) = P(u < p) = p, matching one Bernoulli trial per packet.
+  [[nodiscard]] std::uint64_t next_gap() {
+    const double u = rng_.uniform();
+    return static_cast<std::uint64_t>(std::log1p(-u) / log1m_p_);
+  }
+
+  sim::BernoulliGate gate_;
   sim::Rng rng_;
+  bool geometric_skip_{false};
+  bool skip_valid_{false};
+  double log1m_p_{0.0};
+  std::uint64_t skip_{0};
 };
 
 /// Classic Gilbert-Elliott channel: the chain moves between a good state with
@@ -55,15 +93,21 @@ class GilbertElliottLoss final : public LossModel {
     double loss_bad{0.25};
   };
 
-  GilbertElliottLoss(Params params, sim::Rng rng) : params_{params}, rng_{std::move(rng)} {}
+  GilbertElliottLoss(Params params, sim::Rng rng)
+      : params_{params},
+        good_to_bad_{params.p_good_to_bad},
+        bad_to_good_{params.p_bad_to_good},
+        loss_good_{params.loss_good},
+        loss_bad_{params.loss_bad},
+        rng_{std::move(rng)} {}
 
   [[nodiscard]] bool should_drop() override {
     if (bad_) {
-      if (rng_.chance(params_.p_bad_to_good)) bad_ = false;
+      if (bad_to_good_.sample(rng_)) bad_ = false;
     } else {
-      if (rng_.chance(params_.p_good_to_bad)) bad_ = true;
+      if (good_to_bad_.sample(rng_)) bad_ = true;
     }
-    return rng_.chance(bad_ ? params_.loss_bad : params_.loss_good);
+    return (bad_ ? loss_bad_ : loss_good_).sample(rng_);
   }
 
   /// Long-run average loss probability (for calibration/tests).
@@ -75,6 +119,12 @@ class GilbertElliottLoss final : public LossModel {
 
  private:
   Params params_;
+  // The four probabilities re-tested on every packet, with their
+  // degenerate-p classification done once (sim::BernoulliGate).
+  sim::BernoulliGate good_to_bad_;
+  sim::BernoulliGate bad_to_good_;
+  sim::BernoulliGate loss_good_;
+  sim::BernoulliGate loss_bad_;
   sim::Rng rng_;
   bool bad_{false};
 };

@@ -17,10 +17,10 @@ std::string to_string(const Packet& p) {
                 p.tcp.dst_port, flags.c_str(), static_cast<unsigned long long>(p.tcp.seq),
                 static_cast<unsigned long long>(p.tcp.ack), p.payload_bytes);
   std::string out = buf;
-  if (p.tcp.dss) {
+  if (const net::DssOption* dss = p.tcp.dss()) {
     std::snprintf(buf, sizeof buf, " dss={dsn=%llu len=%u dack=%llu}",
-                  static_cast<unsigned long long>(p.tcp.dss->dsn), p.tcp.dss->length,
-                  static_cast<unsigned long long>(p.tcp.dss->data_ack));
+                  static_cast<unsigned long long>(dss->dsn), dss->length,
+                  static_cast<unsigned long long>(dss->data_ack));
     out += buf;
   }
   if (p.is_retransmit) out += " (rexmit)";

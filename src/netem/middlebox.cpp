@@ -50,32 +50,35 @@ void Middlebox::process(net::PacketPtr p, Dir& d) {
 }
 
 void Middlebox::strip_options(net::Packet& p) {
-  const auto drop = [this](auto& opt) {
-    if (opt) {
-      opt.reset();
+  // Strips one option if present: the presence bit gates the clear, and
+  // every clear is counted as one stripped option.
+  const auto drop = [this, &p](net::TcpSegment::OptBit bit, auto clear) {
+    if (p.tcp.has_opt(bit)) {
+      (p.tcp.*clear)();
       ++stats_.options_stripped;
     }
   };
+  using Seg = net::TcpSegment;
   switch (strip_) {
     case Strip::kOff:
       return;
     case Strip::kSyn:
       if (p.tcp.has(net::kFlagSyn)) {
-        drop(p.tcp.mp_capable);
-        drop(p.tcp.mp_join);
+        drop(Seg::kOptMpCapable, &Seg::clear_mp_capable);
+        drop(Seg::kOptMpJoin, &Seg::clear_mp_join);
       }
       return;
     case Strip::kJoin:
-      if (p.tcp.has(net::kFlagSyn)) drop(p.tcp.mp_join);
+      if (p.tcp.has(net::kFlagSyn)) drop(Seg::kOptMpJoin, &Seg::clear_mp_join);
       return;
     case Strip::kAll:
-      drop(p.tcp.mp_capable);
-      drop(p.tcp.mp_join);
-      drop(p.tcp.add_addr);
-      drop(p.tcp.remove_addr);
-      drop(p.tcp.mp_prio);
-      drop(p.tcp.mp_fail);
-      drop(p.tcp.dss);
+      drop(Seg::kOptMpCapable, &Seg::clear_mp_capable);
+      drop(Seg::kOptMpJoin, &Seg::clear_mp_join);
+      drop(Seg::kOptAddAddr, &Seg::clear_add_addr);
+      drop(Seg::kOptRemoveAddr, &Seg::clear_remove_addr);
+      drop(Seg::kOptMpPrio, &Seg::clear_mp_prio);
+      drop(Seg::kOptMpFail, &Seg::clear_mp_fail);
+      drop(Seg::kOptDss, &Seg::clear_dss);
       return;
   }
 }
@@ -104,7 +107,9 @@ void Middlebox::maybe_corrupt(net::Packet& p, Dir& d) {
   // Payload is a byte count in this model, so corruption shows up as a
   // DSS-checksum mismatch when checksums are on and passes silently when
   // they are off — exactly the detectability RFC 6824 §3.3 buys.
-  if (p.tcp.dss && p.tcp.dss->has_checksum) p.tcp.dss->checksum ^= 0x1;
+  if (net::DssOption* dss = p.tcp.dss(); dss != nullptr && dss->has_checksum) {
+    dss->checksum ^= 0x1;
+  }
 }
 
 void Middlebox::coalesce_or_emit(net::PacketPtr p, Dir& d) {

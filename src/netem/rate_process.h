@@ -34,7 +34,9 @@ class RateProcess {
     if (config_.sigma <= 0.0) return config_.base_bps;
     const sim::TimePoint now = sim_.now();
     while (now >= next_resample_) {
-      const double factor = rng_.lognormal_median(1.0, config_.sigma);
+      // log(median=1.0) == 0.0, hoisted out of the resample loop; identical
+      // arithmetic to lognormal_median(1.0, sigma).
+      const double factor = rng_.lognormal_log_median(0.0, config_.sigma);
       current_bps_ = std::clamp(config_.base_bps / factor, config_.min_bps,
                                 config_.base_bps * config_.max_factor);
       next_resample_ = next_resample_ + config_.resample_interval;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <utility>
 
 namespace mpr::sim {
@@ -15,9 +16,8 @@ constexpr std::size_t kInitialCapacity = 256;
 }  // namespace
 
 EventQueue::EventQueue() {
-  hkey_.reserve(kInitialCapacity);
-  hslot_.reserve(kInitialCapacity);
-  slots_.reserve(kInitialCapacity);
+  heap_.reserve(kInitialCapacity);
+  meta_.reserve(kInitialCapacity);
   free_slots_.reserve(kInitialCapacity);
   batch_.reserve(64);
 }
@@ -26,57 +26,60 @@ EventQueue::~EventQueue() {
   total_executed_.fetch_add(executed_, std::memory_order_relaxed);
 }
 
-std::uint32_t EventQueue::acquire_slot(Action action) {
+std::uint32_t EventQueue::acquire_slot(Action&& action) {
   if (!free_slots_.empty()) {
     const std::uint32_t slot = free_slots_.back();
     free_slots_.pop_back();
-    Slot& s = slots_[slot];
 #if MPR_AUDIT
-    if (s.live) {
+    if (meta_[slot].live != 0) {
       check::report({.rule = "event.slot_reuse",
                      .detail = "free-list slot " + std::to_string(slot) +
                                " still live on acquire",
                      .time_ns = now_.ns()});
     }
 #endif
-    s.action = std::move(action);
-    s.live = true;
+    arena_action(slot) = std::move(action);
+    meta_[slot].live = 1;
     return slot;
   }
-  const auto slot = static_cast<std::uint32_t>(slots_.size());
-  slots_.push_back(Slot{std::move(action), 0, true});
+  const auto slot = static_cast<std::uint32_t>(slot_count_);
+  // The heap packs slot indices into 24 bits; running out means 16.7M
+  // events pending at once — far beyond anything real, so treat it as the
+  // hard programming error it is rather than corrupting event order.
+  if (slot >= kMaxSlots) std::abort();
+  if ((slot_count_ & (kArenaChunkSize - 1)) == 0) {
+    arena_.push_back(std::make_unique<Action[]>(kArenaChunkSize));
+  }
+  ++slot_count_;
+  meta_.push_back(SlotMeta{0, 1});
+  arena_action(slot) = std::move(action);
   return slot;
 }
 
 void EventQueue::release_slot(std::uint32_t slot) {
-  Slot& s = slots_[slot];
-  s.action = nullptr;
-  s.live = false;
-  ++s.gen;  // invalidates every id minted for the previous occupant
+  arena_action(slot) = nullptr;
+  SlotMeta& m = meta_[slot];
+  m.live = 0;
+  ++m.gen;  // invalidates every id minted for the previous occupant
   free_slots_.push_back(slot);
 }
 
-void EventQueue::heap_push(HeapKey key, std::uint32_t slot) {
-  std::size_t i = hkey_.size();
-  hkey_.push_back(key);
-  hslot_.push_back(slot);
+void EventQueue::heap_push(HeapRec rec) {
+  std::size_t i = heap_.size();
+  heap_.push_back(rec);
   while (i > 0) {
     const std::size_t p = (i - 1) >> 2;
-    if (!key_less(key, hkey_[p])) break;
-    hkey_[i] = hkey_[p];
-    hslot_[i] = hslot_[p];
+    if (!rec_less(rec, heap_[p])) break;
+    heap_[i] = heap_[p];
     i = p;
   }
-  hkey_[i] = key;
-  hslot_[i] = slot;
+  heap_[i] = rec;
 }
 
 void EventQueue::heap_pop_top() {
-  const std::size_t n = hkey_.size() - 1;
-  const HeapKey key = hkey_[n];
-  const std::uint32_t slot = hslot_[n];
-  hkey_.pop_back();
-  hslot_.pop_back();
+  const std::size_t n = heap_.size() - 1;
+  const HeapRec rec = heap_[n];
+  heap_.pop_back();
   if (n == 0) return;
   std::size_t i = 0;
   for (;;) {
@@ -85,33 +88,32 @@ void EventQueue::heap_pop_top() {
     std::size_t best = c;
     const std::size_t end = std::min(c + 4, n);
     for (std::size_t j = c + 1; j < end; ++j) {
-      if (key_less(hkey_[j], hkey_[best])) best = j;
+      if (rec_less(heap_[j], heap_[best])) best = j;
     }
-    if (!key_less(hkey_[best], key)) break;
-    hkey_[i] = hkey_[best];
-    hslot_[i] = hslot_[best];
+    if (!rec_less(heap_[best], rec)) break;
+    heap_[i] = heap_[best];
     i = best;
   }
-  hkey_[i] = key;
-  hslot_[i] = slot;
+  heap_[i] = rec;
 }
 
 EventId EventQueue::schedule_at(TimePoint when, Action action) {
   assert(action);
   if (when < now_) when = now_;  // never schedule into the past
   const std::uint32_t slot = acquire_slot(std::move(action));
-  const EventId id = encode(slot, slots_[slot].gen);
+  const EventId id = encode(slot, meta_[slot].gen);
   const std::uint64_t seq = next_seq_++;
+  assert(seq < (std::uint64_t{1} << (64 - kSlotIndexBits)) && "seq overflows packed heap record");
   // Far-out events park in the wheel; near ones go straight to the heap.
   // The min_insert_ns() guard covers the window where the wheel cursor has
   // run ahead of now_ (it moves to the drain target, which can exceed the
   // time of the event that ends up executing). Routing never affects
   // execution order — see the ordering contract in the header.
   if (when.ns() - now_.ns() >= kWheelMinDelayNs && when.ns() >= wheel_.min_insert_ns()) {
-    wheel_.insert(TimingWheel::Entry{when, seq, slot});
+    wheel_.insert(TimingWheel::Entry{when, pack(seq, slot)});
     wheel_next_due_ns_ = wheel_.next_due().ns();
   } else {
-    heap_push(HeapKey{when.ns(), seq}, slot);
+    heap_push(HeapRec{when.ns(), pack(seq, slot)});
   }
   ++live_count_;
   return id;
@@ -125,28 +127,30 @@ EventId EventQueue::schedule_after(Duration delay, Action action) {
 bool EventQueue::cancel(EventId id) {
   if (id == kInvalidEventId) return false;
   const std::uint64_t slot_plus_one = id & 0xffffffffu;
-  if (slot_plus_one == 0 || slot_plus_one > slots_.size()) return false;
+  if (slot_plus_one == 0 || slot_plus_one > slot_count_) return false;
   const auto slot = static_cast<std::uint32_t>(slot_plus_one - 1);
-  Slot& s = slots_[slot];
-  if (!s.live || s.gen != static_cast<std::uint32_t>(id >> 32)) return false;
+  SlotMeta& m = meta_[slot];
+  if (m.live == 0 || m.gen != static_cast<std::uint32_t>(id >> 32)) return false;
   // Tombstone: drop the action now (frees captured state), leave the heap
   // or wheel entry to be skipped when it surfaces. The slot is recycled
   // only then, so the id space stays unambiguous.
-  s.live = false;
-  s.action = nullptr;
+  m.live = 0;
+  arena_action(slot) = nullptr;
   --live_count_;
   return true;
 }
 
 bool EventQueue::prepare_top(std::int64_t limit_ns) {
   for (;;) {
-    // Sweep tombstoned heap tops so hkey_[0], if present, is live.
-    while (!hkey_.empty() && !slots_[hslot_[0]].live) {
-      const std::uint32_t slot = hslot_[0];
+    // Sweep tombstoned heap tops so heap_[0], if present, is live. Only the
+    // dense 8-byte meta records are touched — a sweep never drags the
+    // 64-byte action lines through the cache.
+    while (!heap_.empty() && meta_[slot_of(heap_[0].seq_slot)].live == 0) {
+      const std::uint32_t slot = slot_of(heap_[0].seq_slot);
       heap_pop_top();
       release_slot(slot);
     }
-    const std::int64_t top_ns = hkey_.empty() ? kNoWheelEvent : hkey_[0].when_ns;
+    const std::int64_t top_ns = heap_.empty() ? kNoWheelEvent : heap_[0].when_ns;
     // One int64 compare decides whether the wheel can matter: its cached
     // next_due is a lower bound on every parked entry's time. Equality must
     // drain too — a wheel entry at the same instant can carry a lower seq.
@@ -160,14 +164,34 @@ bool EventQueue::prepare_top(std::int64_t limit_ns) {
     std::int64_t target = std::min(top_ns, limit_ns);
     if (target == kNoWheelEvent) target = wheel_next_due_ns_;
     wheel_.advance(TimePoint::from_ns(target), [this](const TimingWheel::Entry& e) {
-      if (slots_[e.slot].live) {
-        heap_push(HeapKey{e.when.ns(), e.seq}, e.slot);
+      const std::uint32_t slot = slot_of(e.seq_slot);
+      if (meta_[slot].live != 0) {
+        heap_push(HeapRec{e.when.ns(), e.seq_slot});  // already the packed word
       } else {
-        release_slot(e.slot);  // cancelled while parked: never touches the heap
+        release_slot(slot);  // cancelled while parked: never touches the heap
       }
     });
     wheel_next_due_ns_ = wheel_.next_due().ns();
   }
+}
+
+void EventQueue::execute_slot(std::uint32_t slot, std::int64_t t_ns) {
+#if MPR_AUDIT
+  clock_audit_.on_event(t_ns);
+#else
+  (void)t_ns;
+#endif
+  // Mark dead before invoking so a cancel() of this very id returns false
+  // (the event is running, not pending), then execute *in place*: the
+  // arena chunk is stable, so the action stays valid even if it schedules
+  // enough new events to grow the slot table. The slot is recycled only
+  // after the call returns — new events scheduled by the action can never
+  // land in it mid-execution.
+  meta_[slot].live = 0;
+  --live_count_;
+  ++executed_;
+  arena_action(slot)();
+  release_slot(slot);
 }
 
 void EventQueue::run_batch() {
@@ -175,34 +199,27 @@ void EventQueue::run_batch() {
   // prepare_top() already drained the wheel through this instant, so the
   // run is complete; events scheduled *by* the batch for this same instant
   // carry higher seqs and form the next batch, preserving FIFO order.
-  const std::int64_t t_ns = hkey_[0].when_ns;
+  const std::int64_t t_ns = heap_[0].when_ns;
   now_ = TimePoint::from_ns(t_ns);
   batch_.clear();
   do {
-    batch_.push_back(hslot_[0]);
+    batch_.push_back(slot_of(heap_[0].seq_slot));
     heap_pop_top();
-  } while (!hkey_.empty() && hkey_[0].when_ns == t_ns);
+  } while (!heap_.empty() && heap_[0].when_ns == t_ns);
 
   const std::size_t n = batch_.size();
   for (std::size_t i = 0; i < n; ++i) {
-    if (i + 1 < n) __builtin_prefetch(&slots_[batch_[i + 1]]);
-    Slot& s = slots_[batch_[i]];
+    if (i + 1 < n) {
+      __builtin_prefetch(&meta_[batch_[i + 1]]);
+      __builtin_prefetch(&arena_action(batch_[i + 1]));
+    }
     // Liveness is re-checked here, not at pop: slot release is deferred so
     // an action may cancel a later event in this very batch.
-    if (!s.live) {
+    if (meta_[batch_[i]].live == 0) {
       release_slot(batch_[i]);
       continue;
     }
-    // Move the action out before recycling: the action may schedule new
-    // events, which are free to reuse this slot immediately.
-    Action action = std::move(s.action);
-    release_slot(batch_[i]);
-#if MPR_AUDIT
-    clock_audit_.on_event(t_ns);
-#endif
-    --live_count_;
-    ++executed_;
-    action();
+    execute_slot(batch_[i], t_ns);
   }
 }
 
@@ -220,19 +237,11 @@ bool EventQueue::step() {
   }
   // Single-event semantics (callers interleave with their own checks), so
   // no batching here: pop exactly the top, which prepare_top made live.
-  const std::int64_t t_ns = hkey_[0].when_ns;
-  const std::uint32_t slot = hslot_[0];
+  const std::int64_t t_ns = heap_[0].when_ns;
+  const std::uint32_t slot = slot_of(heap_[0].seq_slot);
   heap_pop_top();
-  Slot& s = slots_[slot];
-  Action action = std::move(s.action);
-  release_slot(slot);
-#if MPR_AUDIT
-  clock_audit_.on_event(t_ns);
-#endif
   now_ = TimePoint::from_ns(t_ns);
-  --live_count_;
-  ++executed_;
-  action();
+  execute_slot(slot, t_ns);
   return true;
 }
 

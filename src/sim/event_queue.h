@@ -22,6 +22,17 @@
 // never travels through the heap at all, which is what makes the timer
 // arm/cancel churn of every data flight cheap.
 //
+// Data layout: the heap sifts only 16-byte (when, seq, slot) records —
+// seq and slot share one word, with seq in the high bits so the packed
+// compare still orders FIFO at equal times. The 64-byte actions never
+// move: they live in a chunked slot arena whose chunks are stable for the
+// arena's lifetime, so an action is relocated exactly once (schedule time,
+// into its slot) and then executed *in place* — not moved out per event,
+// not shuffled by heap sifts, not reallocated when the slot table grows.
+// Slot liveness/generation sits in a separate dense meta array so the
+// tombstone sweep at the heap top touches 8-byte records, not action
+// cache lines.
+//
 // The hot loop is batched: all events sharing the front timestamp are
 // popped in one pass into a scratch list and executed back-to-back with
 // the next slot's liveness prefetched, so the heap fixup and the action
@@ -33,6 +44,7 @@
 #include <atomic>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "check/audit.h"
@@ -107,37 +119,58 @@ class EventQueue {
     return total_executed_.load(std::memory_order_relaxed);
   }
 
- private:
-  // The heap is stored SoA: the 16-byte ordering key (when, seq) in one
-  // array, the 4-byte slot index in a parallel one. Sifts compare keys
-  // only, so a fixup pass walks a single densely packed array; the slot is
-  // touched once, at pop. 4-ary beats binary here: half the tree depth for
-  // one extra compare per visited node, all within two cache lines.
-  struct HeapKey {
+  // Exposed for the layout pins and the sift-move bench/test: the heap
+  // permutes HeapRec values only; actions stay put in the slot arena.
+  struct HeapRec {
     std::int64_t when_ns;
-    std::uint64_t seq;  // tie-break: FIFO at equal times
+    std::uint64_t seq_slot;  // (seq << kSlotIndexBits) | slot
   };
-  struct Slot {
-    Action action;
+  /// Slot indices fit 24 bits: 16.7M *simultaneously pending* events, ~3
+  /// orders of magnitude above any real run. seq gets the remaining 40
+  /// bits, monotonically increasing per queue — the packed word compares
+  /// (seq, slot) lexicographically, and since seqs are unique the slot
+  /// bits never decide an ordering.
+  static constexpr unsigned kSlotIndexBits = 24;
+  static constexpr std::uint32_t kMaxSlots = 1u << kSlotIndexBits;
+
+ private:
+  struct SlotMeta {
     std::uint32_t gen{0};
-    bool live{false};
+    std::uint32_t live{0};
   };
+  static_assert(sizeof(SlotMeta) == 8, "tombstone sweep walks 8-byte meta records");
+
+  // Actions live in fixed-size chunks that never move once allocated, so
+  // executing in place stays valid even when an action schedules enough
+  // new events to grow the slot table mid-call.
+  static constexpr unsigned kArenaChunkBits = 8;  // 256 actions per chunk
+  static constexpr std::size_t kArenaChunkSize = std::size_t{1} << kArenaChunkBits;
 
   [[nodiscard]] static EventId encode(std::uint32_t slot, std::uint32_t gen) {
     return (static_cast<EventId>(gen) << 32) | (static_cast<EventId>(slot) + 1);
   }
-  [[nodiscard]] static bool key_less(const HeapKey& a, const HeapKey& b) {
+  [[nodiscard]] static std::uint64_t pack(std::uint64_t seq, std::uint32_t slot) {
+    return (seq << kSlotIndexBits) | slot;
+  }
+  [[nodiscard]] static std::uint32_t slot_of(std::uint64_t seq_slot) {
+    return static_cast<std::uint32_t>(seq_slot & (kMaxSlots - 1));
+  }
+  [[nodiscard]] static bool rec_less(const HeapRec& a, const HeapRec& b) {
     if (a.when_ns != b.when_ns) return a.when_ns < b.when_ns;
-    return a.seq < b.seq;
+    return a.seq_slot < b.seq_slot;
   }
 
-  std::uint32_t acquire_slot(Action action);
+  [[nodiscard]] Action& arena_action(std::uint32_t slot) {
+    return arena_[slot >> kArenaChunkBits][slot & (kArenaChunkSize - 1)];
+  }
+
+  std::uint32_t acquire_slot(Action&& action);
   void release_slot(std::uint32_t slot);  // bumps generation, recycles
 
-  void heap_push(HeapKey key, std::uint32_t slot);
+  void heap_push(HeapRec rec);
   void heap_pop_top();
 
-  /// Makes hkey_[0] the globally earliest live event: sweeps tombstoned
+  /// Makes heap_[0] the globally earliest live event: sweeps tombstoned
   /// heap tops and drains the wheel whenever a wheel slot could start at or
   /// before the heap top (bounded by `limit_ns` so run_until never opens
   /// slots beyond its deadline). Returns false when nothing live remains
@@ -147,9 +180,13 @@ class EventQueue {
   /// Executes every event at the current heap-top instant in one pass.
   void run_batch();
 
-  std::vector<HeapKey> hkey_;
-  std::vector<std::uint32_t> hslot_;
-  std::vector<Slot> slots_;
+  /// Executes the live event in `slot` in place, then recycles the slot.
+  void execute_slot(std::uint32_t slot, std::int64_t t_ns);
+
+  std::vector<HeapRec> heap_;
+  std::vector<SlotMeta> meta_;                    // dense: liveness/generation only
+  std::vector<std::unique_ptr<Action[]>> arena_;  // stable chunks of actions
+  std::size_t slot_count_{0};
   std::vector<std::uint32_t> free_slots_;
   std::vector<std::uint32_t> batch_;  // scratch: slots of the popped run
   TimingWheel wheel_;
@@ -167,5 +204,12 @@ class EventQueue {
 
   static std::atomic<std::uint64_t> total_executed_;
 };
+
+// What the sift actually moves: fixed 16-byte records, 4 per cache line —
+// a 4-ary node's children span exactly one line. The meta records the
+// tombstone sweep walks are 8 bytes. Growing either past this fails the
+// build before it quietly doubles sift traffic.
+static_assert(sizeof(EventQueue::HeapRec) == 16);
+static_assert(std::is_trivially_copyable_v<EventQueue::HeapRec>);
 
 }  // namespace mpr::sim

@@ -104,8 +104,8 @@ class InlineFunction<R(Args...), Capacity> {
     static_assert(alignof(Fn) <= alignof(std::max_align_t),
                   "closure is over-aligned for InlineFunction storage");
     static_assert(std::is_nothrow_move_constructible_v<Fn>,
-                  "InlineFunction requires nothrow-movable closures (storage relocates when "
-                  "the event queue's slot table grows)");
+                  "InlineFunction requires nothrow-movable closures (the action is relocated "
+                  "once, into the event queue's slot arena at schedule time)");
     ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
     ops_ = &OpsFor<Fn>::ops;
   }

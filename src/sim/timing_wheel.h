@@ -36,13 +36,15 @@ namespace mpr::sim {
 
 class TimingWheel {
  public:
-  /// What the wheel stores: the EventQueue's ordering key plus its slot
-  /// table index. Opaque to the wheel itself.
+  /// What the wheel stores: the due time plus the EventQueue's packed
+  /// (seq << slot-bits) | slot word, opaque to the wheel itself. Matching
+  /// the heap's 16-byte record means bucket drains and cascades move the
+  /// same four entries per cache line the heap sifts.
   struct Entry {
     TimePoint when;
-    std::uint64_t seq{0};
-    std::uint32_t slot{0};
+    std::uint64_t seq_slot{0};
   };
+  static_assert(sizeof(TimePoint) == 8, "Entry assumes an 8-byte TimePoint");
 
   static constexpr int kSlotBits = 6;  // 64 slots per level
   static constexpr int kSlots = 1 << kSlotBits;
@@ -142,5 +144,8 @@ class TimingWheel {
   std::vector<Entry> buckets_[kLevels][kSlots];
   std::vector<Entry> scratch_;
 };
+
+static_assert(sizeof(TimingWheel::Entry) == 16,
+              "wheel entries are sized to pack four per cache line, like HeapRec");
 
 }  // namespace mpr::sim

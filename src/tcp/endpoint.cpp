@@ -215,8 +215,8 @@ void TcpEndpoint::send_segment_new(Chunk chunk) {
 
   net::PacketPtr p = make_packet(net::kFlagAck, seq, chunk.len);
   if (chunk.dsn) {
-    p->tcp.dss = net::DssOption{.dsn = *chunk.dsn, .length = chunk.len,
-                                .data_fin = chunk.data_fin};
+    p->tcp.set_dss(net::DssOption{.dsn = *chunk.dsn, .length = chunk.len,
+                                  .data_fin = chunk.data_fin});
   }
   decorate_outgoing(*p);
   ++metrics_.data_packets_sent;
@@ -248,7 +248,7 @@ void TcpEndpoint::retransmit(std::uint64_t seq) {
   }
   net::PacketPtr p = make_packet(flags, seq, payload);
   if (seg.dsn) {
-    p->tcp.dss = net::DssOption{.dsn = *seg.dsn, .length = payload, .data_fin = seg.data_fin};
+    p->tcp.set_dss(net::DssOption{.dsn = *seg.dsn, .length = payload, .data_fin = seg.data_fin});
   }
   p->is_retransmit = true;
   decorate_outgoing(*p);
@@ -519,13 +519,13 @@ void TcpEndpoint::process_data_side(const net::Packet& p) {
     ++metrics_.data_packets_received;
     need_ack = true;
     if (seq == rcv_nxt_) {
-      deliver_from(seq, p.payload_bytes, p.tcp.dss);
+      deliver_from(seq, p.payload_bytes, p.tcp.dss_opt());
       deliver_in_order();
     } else if (seq > rcv_nxt_) {
       ++metrics_.out_of_order_packets;
       out_of_order = true;
       if (!ooo_.contains(seq)) {
-        ooo_.insert(seq, RxSeg{p.payload_bytes, p.tcp.dss});
+        ooo_.insert(seq, RxSeg{p.payload_bytes, p.tcp.dss_opt()});
         ooo_bytes_ += p.payload_bytes;
       }
     } else if (seq + p.payload_bytes > rcv_nxt_) {
@@ -533,7 +533,7 @@ void TcpEndpoint::process_data_side(const net::Packet& p) {
       // (re)transmission straddles the receive edge. Deliver the fresh tail —
       // treating it as a stale duplicate would discard those bytes forever
       // and wedge the sender in an RTO loop.
-      deliver_from(seq, p.payload_bytes, p.tcp.dss);
+      deliver_from(seq, p.payload_bytes, p.tcp.dss_opt());
       deliver_in_order();
     } else {
       out_of_order = true;  // stale duplicate: ack immediately, report DSACK

@@ -402,7 +402,7 @@ TEST(MptcpServer, RejectsJoinWithUnknownToken) {
   rogue->tcp.src_port = 55555;
   rogue->tcp.dst_port = kHttpPort;
   rogue->tcp.flags = net::kFlagSyn;
-  rogue->tcp.mp_join = net::MpJoinOption{999999, 1};
+  rogue->tcp.set_mp_join(net::MpJoinOption{999999, 1});
   rig.tb.client().send(std::move(rogue));
   rig.tb.sim().run_for(sim::Duration::seconds(1));
   EXPECT_EQ(rig.server->server().rejected_joins(), 1u);

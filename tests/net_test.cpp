@@ -2,6 +2,7 @@
 // (serialization, queueing, FIFO ordering, gating), routing and host demux.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "net/host.h"
@@ -45,14 +46,14 @@ TEST(PacketTest, WireBytesIncludesHeaders) {
 TEST(PacketTest, WireBytesIncludesOptions) {
   Packet p = make_data_packet(IpAddr{1}, IpAddr{2}, 0);
   const std::uint32_t base = p.wire_bytes();
-  p.tcp.dss = DssOption{};
+  p.tcp.set_dss(DssOption{});
   EXPECT_EQ(p.wire_bytes(), base + 20);
   p.tcp.sack.push_back(SackBlock{0, 10});
   p.tcp.sack.push_back(SackBlock{20, 30});
   EXPECT_EQ(p.wire_bytes(), base + 20 + 2 + 16);
-  p.tcp.mp_capable = MpCapableOption{};
-  p.tcp.mp_join = MpJoinOption{};
-  p.tcp.add_addr = AddAddrOption{};
+  p.tcp.set_mp_capable(MpCapableOption{});
+  p.tcp.set_mp_join(MpJoinOption{});
+  p.tcp.set_add_addr(AddAddrOption{});
   EXPECT_EQ(p.wire_bytes(), base + 20 + 18 + 12 + 12 + 8);
 }
 
@@ -78,6 +79,105 @@ TEST(PacketTest, ToStringRendersFlagsAndSeq) {
   EXPECT_NE(s.find("len=99"), std::string::npos);
 }
 
+// Fill every Packet field — header, timestamps, SACK, and a random subset of
+// options — with draws from `rng`, through the public mutators.
+void scribble_packet(Packet& p, sim::Rng& rng) {
+  p.uid = static_cast<std::uint64_t>(rng.uniform_int(1, 1 << 30));
+  p.src = IpAddr{static_cast<std::uint32_t>(rng.uniform_int(1, 255))};
+  p.dst = IpAddr{static_cast<std::uint32_t>(rng.uniform_int(1, 255))};
+  p.payload_bytes = static_cast<std::uint32_t>(rng.uniform_int(0, 1460));
+  p.is_retransmit = rng.chance(0.5);
+  p.first_sent_time = sim::TimePoint::from_ns(rng.uniform_int(1, 1'000'000));
+  p.enqueue_time = sim::TimePoint::from_ns(rng.uniform_int(1, 1'000'000));
+  p.tcp.src_port = static_cast<std::uint16_t>(rng.uniform_int(1, 65535));
+  p.tcp.dst_port = static_cast<std::uint16_t>(rng.uniform_int(1, 65535));
+  p.tcp.flags = static_cast<std::uint8_t>(rng.uniform_int(0, 15));
+  p.tcp.seq = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30));
+  p.tcp.ack = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30));
+  p.tcp.wnd = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20));
+  const auto blocks = rng.uniform_int(0, static_cast<std::int64_t>(kMaxSackBlocks));
+  for (std::int64_t i = 0; i < blocks; ++i) {
+    const auto b = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20));
+    p.tcp.sack.push_back(SackBlock{b, b + 1000});
+  }
+  if (rng.chance(0.7)) {
+    DssOption& dss = p.tcp.ensure_dss();
+    dss.dsn = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30));
+    dss.length = static_cast<std::uint32_t>(rng.uniform_int(1, 1460));
+    dss.has_data_ack = rng.chance(0.8);
+    dss.data_ack = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30));
+    dss.data_fin = rng.chance(0.1);
+    dss.has_checksum = rng.chance(0.5);
+    dss.checksum = dss_checksum(dss.dsn, dss.length);
+  }
+  if (rng.chance(0.5)) p.tcp.set_mp_capable(MpCapableOption{1, 2});
+  if (rng.chance(0.5)) p.tcp.set_mp_join(MpJoinOption{42, 3, true});
+  if (rng.chance(0.5)) p.tcp.set_add_addr(AddAddrOption{IpAddr{9}, 4});
+  if (rng.chance(0.5)) p.tcp.set_remove_addr(RemoveAddrOption{IpAddr{9}, 7});
+  if (rng.chance(0.5)) p.tcp.set_mp_prio(MpPrioOption{false});
+  if (rng.chance(0.5)) p.tcp.set_mp_fail(MpFailOption{123, true});
+}
+
+// Field-for-field comparison of a recycled packet against a fresh default
+// one (cannot memcmp: padding bytes are not specified after copy-assign).
+void expect_packet_is_fresh(const Packet& p, PacketPool* expected_pool) {
+  const Packet fresh;
+  EXPECT_EQ(p.uid, fresh.uid);
+  EXPECT_EQ(p.src, fresh.src);
+  EXPECT_EQ(p.dst, fresh.dst);
+  EXPECT_EQ(p.payload_bytes, fresh.payload_bytes);
+  EXPECT_EQ(p.is_retransmit, fresh.is_retransmit);
+  EXPECT_EQ(p.first_sent_time.ns(), fresh.first_sent_time.ns());
+  EXPECT_EQ(p.enqueue_time.ns(), fresh.enqueue_time.ns());
+  EXPECT_EQ(p.origin_pool, expected_pool);
+  EXPECT_EQ(p.tcp.src_port, fresh.tcp.src_port);
+  EXPECT_EQ(p.tcp.dst_port, fresh.tcp.dst_port);
+  EXPECT_EQ(p.tcp.flags, fresh.tcp.flags);
+  EXPECT_EQ(p.tcp.seq, fresh.tcp.seq);
+  EXPECT_EQ(p.tcp.ack, fresh.tcp.ack);
+  EXPECT_EQ(p.tcp.wnd, fresh.tcp.wnd);
+  EXPECT_FALSE(p.tcp.has_any_option());
+  EXPECT_EQ(p.tcp.dss(), nullptr);
+  EXPECT_EQ(p.tcp.mp_capable(), nullptr);
+  EXPECT_EQ(p.tcp.mp_join(), nullptr);
+  EXPECT_EQ(p.tcp.add_addr(), nullptr);
+  EXPECT_EQ(p.tcp.remove_addr(), nullptr);
+  EXPECT_EQ(p.tcp.mp_prio(), nullptr);
+  EXPECT_EQ(p.tcp.mp_fail(), nullptr);
+  EXPECT_TRUE(p.tcp.sack.empty());
+  EXPECT_EQ(p.wire_bytes(), fresh.wire_bytes());
+  // The presence mask is authoritative, but the value slots must also reset
+  // so a recycled packet is indistinguishable from a fresh one even through
+  // a stale pointer or a later ensure_dss() (which must hand back zeroes).
+  Packet& mut = const_cast<Packet&>(p);
+  EXPECT_EQ(mut.tcp.ensure_dss().dsn, 0u);
+  EXPECT_EQ(mut.tcp.ensure_dss().length, 0u);
+  EXPECT_FALSE(mut.tcp.ensure_dss().has_data_ack);
+  EXPECT_FALSE(mut.tcp.ensure_dss().has_checksum);
+  mut.tcp.clear_dss();
+}
+
+TEST(PacketPoolTest, RecycledPacketMatchesFreshFieldForField) {
+  sim::Simulation sim{404};
+  PacketPool& pool = sim.service<PacketPool>();
+  sim::Rng rng = sim.rng("pool.reuse");
+  for (int round = 0; round < 200; ++round) {
+    Packet* raw = nullptr;
+    {
+      PacketPtr p = pool.acquire();
+      raw = p.get();
+      scribble_packet(*p, rng);
+    }  // recycled here
+    PacketPtr again = pool.acquire();
+    ASSERT_EQ(again.get(), raw) << "freelist should hand back the same slot";
+    expect_packet_is_fresh(*again, &pool);
+  }
+  // One heap allocation total: two acquires per round, all but the first
+  // served from the freelist.
+  EXPECT_EQ(pool.stats().allocs, 1u);
+  EXPECT_EQ(pool.stats().reuses, 399u);
+}
+
 TEST(LossTest, NoLossNeverDrops) {
   NoLoss m;
   for (int i = 0; i < 100; ++i) EXPECT_FALSE(m.should_drop());
@@ -90,6 +190,46 @@ TEST(LossTest, BernoulliMatchesProbability) {
   constexpr int kTrials = 20000;
   for (int i = 0; i < kTrials; ++i) drops += m.should_drop() ? 1 : 0;
   EXPECT_NEAR(static_cast<double>(drops) / kTrials, 0.2, 0.015);
+}
+
+TEST(LossTest, GeometricSkipMatchesBernoulliDistribution) {
+  // Geometric-skip sampling draws the *gap to the next drop* instead of one
+  // Bernoulli trial per packet. The drop pattern must stay distributionally
+  // identical: same drop rate, geometric run lengths with mean (1-p)/p.
+  sim::Simulation sim{3};
+  const double p = 0.2;
+  BernoulliLoss m{p, sim.rng("loss")};
+  m.enable_geometric_skip();
+  int drops = 0;
+  std::int64_t gap_sum = 0;
+  int gaps = 0;
+  int gap = 0;
+  constexpr int kTrials = 200000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (m.should_drop()) {
+      ++drops;
+      gap_sum += gap;
+      ++gaps;
+      gap = 0;
+    } else {
+      ++gap;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / kTrials, p, 0.01);
+  // Packets passed between consecutive drops ~ Geometric(p), mean (1-p)/p.
+  EXPECT_NEAR(static_cast<double>(gap_sum) / gaps, (1.0 - p) / p, 0.2);
+}
+
+TEST(LossTest, GeometricSkipDegenerateProbabilities) {
+  sim::Simulation sim{3};
+  BernoulliLoss never{0.0, sim.rng("a")};
+  never.enable_geometric_skip();  // no-op: p=0 never draws in either mode
+  BernoulliLoss always{1.0, sim.rng("b")};
+  always.enable_geometric_skip();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(never.should_drop());
+    EXPECT_TRUE(always.should_drop());
+  }
 }
 
 TEST(LossTest, GilbertElliottMatchesSteadyState) {

@@ -109,12 +109,13 @@ TEST(PacketHotPath, DownloadSteadyStateHasZeroPoolMisses) {
 }
 
 TEST(SchedulerThroughput, BacklogDownloadMeetsEventRateFloor) {
-  // Regression pin for the PR 6 hot-path work (flat retransmission state,
-  // timing wheel, batched dispatch): a backlog-style two-path download must
+  // Regression pin for the hot-path work (PR 6: flat retransmission state,
+  // timing wheel, batched dispatch; PR 8: hot/cold Packet split, stable-slot
+  // event actions, RNG fast paths): a backlog-style two-path download must
   // sustain a minimum event rate. The floor is deliberately conservative —
-  // roughly a third of what the reference container sustains post-PR and
-  // below its pre-PR rate's double — so it trips on "someone reintroduced a
-  // node-based container / per-pop heap fixup" regressions, not on machine
+  // roughly half of what the reference container sustains post-PR 8 — so it
+  // trips on "someone reintroduced a node-based container / per-pop heap
+  // fixup / per-call distribution object" regressions, not on machine
   // jitter. Override with MPR_PERF_FLOOR_EVENTS_PER_SEC (0 disables).
 #if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__) || \
     (defined(MPR_AUDIT) && MPR_AUDIT)
@@ -127,7 +128,7 @@ TEST(SchedulerThroughput, BacklogDownloadMeetsEventRateFloor) {
 #ifndef NDEBUG
   GTEST_SKIP() << "event-rate floor is only meaningful in optimized builds";
 #endif
-  double floor_eps = 1.8e6;
+  double floor_eps = 2.2e6;
   if (const char* env = std::getenv("MPR_PERF_FLOOR_EVENTS_PER_SEC")) {
     floor_eps = std::atof(env);
     if (floor_eps <= 0) GTEST_SKIP() << "floor disabled via MPR_PERF_FLOOR_EVENTS_PER_SEC";

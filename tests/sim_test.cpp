@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <random>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -206,6 +208,43 @@ TEST(EventQueueTest, ExecutedCounter) {
   EXPECT_EQ(q.executed(), 7u);
 }
 
+namespace {
+struct MoveCountingAction {
+  int* moves;
+  int* calls;
+  MoveCountingAction(int* m, int* c) : moves{m}, calls{c} {}
+  MoveCountingAction(MoveCountingAction&& other) noexcept
+      : moves{other.moves}, calls{other.calls} {
+    ++*moves;
+  }
+  MoveCountingAction(const MoveCountingAction&) = delete;
+  void operator()() const { ++*calls; }
+};
+}  // namespace
+
+TEST(EventQueueTest, ActionsAreRelocatedExactlyTwicePerEvent) {
+  // The heap sifts only 16-byte (when, seq|slot) records; actions live in a
+  // stable slot arena and run in place. So a scheduled closure is
+  // move-constructed exactly twice regardless of heap churn: once into the
+  // Action at the schedule call, once from that Action into its arena slot.
+  EventQueue q;
+  int moves = 0;
+  int calls = 0;
+  constexpr int kTracked = 64;
+  // Interleave tracked events with enough filler (descending times, so every
+  // push sifts) to force repeated heap growth and slot-table growth.
+  for (int i = 0; i < kTracked; ++i) {
+    q.schedule_at(TimePoint::from_ns(10'000 + i), MoveCountingAction{&moves, &calls});
+    for (int j = 0; j < 50; ++j) {
+      q.schedule_at(TimePoint::from_ns(5'000 - i * 50 - j), [] {});
+    }
+  }
+  EXPECT_EQ(moves, 2 * kTracked);  // no relocations at schedule-heavy time
+  q.run();
+  EXPECT_EQ(calls, kTracked);
+  EXPECT_EQ(moves, 2 * kTracked);  // and none during sifting or execution
+}
+
 TEST(RngTest, NamedStreamsAreDeterministic) {
   const SeedSequence a{42};
   const SeedSequence b{42};
@@ -268,6 +307,145 @@ TEST(RngTest, LognormalMedian) {
 TEST(RngTest, ParetoBounds) {
   Rng r{17};
   for (int i = 0; i < 1000; ++i) EXPECT_GE(r.pareto(1.5, 2.0), 2.0);
+}
+
+// --- RngSequence: the hand-inlined fast paths in sim::Rng must reproduce
+// libstdc++'s distribution objects bit for bit — same engine draws, same
+// floating-point results. Each test runs Rng against a *fresh-per-call*
+// std:: distribution object on an identically seeded mt19937_64 and
+// EXPECT_EQ's the doubles (no tolerance: these are sequence pins, not
+// statistics). If any of these fail after a toolchain or Rng change,
+// simulation outputs are no longer comparable across PRs.
+
+TEST(RngSequence, UniformMatchesStdUniformReal) {
+  Rng r{12345};
+  std::mt19937_64 eng{12345};
+  for (int i = 0; i < 10000; ++i) {
+    std::uniform_real_distribution<double> dist{0.0, 1.0};
+    EXPECT_EQ(r.uniform(), dist(eng)) << "draw " << i;
+  }
+}
+
+TEST(RngSequence, UniformRangeMatchesStdUniformReal) {
+  Rng r{777};
+  std::mt19937_64 eng{777};
+  for (int i = 0; i < 10000; ++i) {
+    std::uniform_real_distribution<double> dist{-3.5, 12.25};
+    EXPECT_EQ(r.uniform(-3.5, 12.25), dist(eng)) << "draw " << i;
+  }
+}
+
+TEST(RngSequence, ChanceMatchesStdBernoulli) {
+  Rng r{999};
+  std::mt19937_64 eng{999};
+  for (int i = 0; i < 10000; ++i) {
+    std::bernoulli_distribution dist{0.37};
+    EXPECT_EQ(r.chance(0.37), dist(eng)) << "draw " << i;
+  }
+  // The engines must still be in lockstep (same number of raw draws).
+  EXPECT_EQ(r.engine()(), eng());
+}
+
+TEST(RngSequence, BernoulliGateMatchesChance) {
+  Rng ra{4242};
+  Rng rb{4242};
+  const BernoulliGate gate{0.37};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(gate.sample(ra), rb.chance(0.37)) << "draw " << i;
+  }
+  EXPECT_EQ(ra.engine()(), rb.engine()());
+  // Degenerate probabilities never touch the engine in either form.
+  Rng rc{1};
+  const BernoulliGate never{0.0};
+  const BernoulliGate always{1.0};
+  EXPECT_FALSE(never.sample(rc));
+  EXPECT_TRUE(always.sample(rc));
+  EXPECT_FALSE(never.draws());
+  EXPECT_FALSE(always.draws());
+  EXPECT_EQ(rc.engine()(), std::mt19937_64{1}());
+}
+
+TEST(RngSequence, ExponentialMatchesStdExponential) {
+  Rng r{31337};
+  std::mt19937_64 eng{31337};
+  for (int i = 0; i < 10000; ++i) {
+    std::exponential_distribution<double> dist{1.0 / 5.0};
+    EXPECT_EQ(r.exponential(5.0), dist(eng)) << "draw " << i;
+  }
+}
+
+TEST(RngSequence, NormalMatchesFreshStdNormal) {
+  Rng r{2718};
+  std::mt19937_64 eng{2718};
+  for (int i = 0; i < 10000; ++i) {
+    // Fresh object per call: the polar method's spare deviate is discarded,
+    // which is the simulator's historical (and default) draw pattern.
+    std::normal_distribution<double> dist{1.5, 2.0};
+    EXPECT_EQ(r.normal(1.5, 2.0), dist(eng)) << "draw " << i;
+  }
+  EXPECT_EQ(r.engine()(), eng());
+}
+
+TEST(RngSequence, LognormalMatchesFreshStdLognormal) {
+  Rng r{1618};
+  std::mt19937_64 eng{1618};
+  const double median = 3.0;
+  const double sigma = 0.8;
+  for (int i = 0; i < 10000; ++i) {
+    std::lognormal_distribution<double> dist{std::log(median), sigma};
+    EXPECT_EQ(r.lognormal_median(median, sigma), dist(eng)) << "draw " << i;
+  }
+  EXPECT_EQ(r.engine()(), eng());
+}
+
+TEST(RngSequence, LogMedianFormMatchesMedianForm) {
+  Rng ra{555};
+  Rng rb{555};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(ra.lognormal_median(3.0, 0.8), rb.lognormal_log_median(std::log(3.0), 0.8));
+  }
+}
+
+TEST(RngSequence, CachedSpareMatchesPersistentStdNormal) {
+  // With the opt-in spare cache the draw pattern matches a *long-lived*
+  // std::normal_distribution object instead: two canonical draws produce two
+  // deviates, served on consecutive calls.
+  Rng r{8128};
+  r.set_cache_normal_spare(true);
+  std::mt19937_64 eng{8128};
+  std::normal_distribution<double> dist{1.5, 2.0};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(r.normal(1.5, 2.0), dist(eng)) << "draw " << i;
+  }
+  EXPECT_EQ(r.engine()(), eng());
+}
+
+TEST(RngSequence, DisablingSpareCacheDropsPendingSpare) {
+  Rng ra{9001};
+  Rng rb{9001};
+  ra.set_cache_normal_spare(true);
+  (void)ra.normal(0.0, 1.0);  // leaves a cached spare behind
+  ra.set_cache_normal_spare(false);
+  (void)rb.normal(0.0, 1.0);
+  // Both must now run a fresh polar loop from identical engine states.
+  EXPECT_EQ(ra.normal(0.0, 1.0), rb.normal(0.0, 1.0));
+}
+
+TEST(RngSequence, CachedSpareKeepsDistributionMoments) {
+  Rng r{60902};
+  r.set_cache_normal_spare(true);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kTrials = 40000;
+  for (int i = 0; i < kTrials; ++i) {
+    const double v = r.normal(2.0, 3.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / kTrials;
+  const double var = sum_sq / kTrials - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.3);
 }
 
 TEST(ThreadPoolTest, RunsEverySubmittedJob) {

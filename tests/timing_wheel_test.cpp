@@ -21,12 +21,15 @@ namespace {
 constexpr std::int64_t kTick = std::int64_t{1} << TimingWheel::kResolutionBits;
 
 TimingWheel::Entry entry_at(std::int64_t ns, std::uint64_t seq) {
-  return TimingWheel::Entry{TimePoint::from_ns(ns), seq, 0};
+  // The wheel treats seq_slot as an opaque payload; these tests use it as a
+  // plain sequence number.
+  return TimingWheel::Entry{TimePoint::from_ns(ns), seq};
 }
 
 std::vector<std::uint64_t> drain_to(TimingWheel& w, std::int64_t ns) {
   std::vector<std::uint64_t> out;
-  w.advance(TimePoint::from_ns(ns), [&](const TimingWheel::Entry& e) { out.push_back(e.seq); });
+  w.advance(TimePoint::from_ns(ns),
+            [&](const TimingWheel::Entry& e) { out.push_back(e.seq_slot); });
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -139,8 +142,8 @@ TEST(TimingWheelTest, RandomizedStressNeverHandsOverLate) {
     }
     now += static_cast<std::int64_t>(rng() % (std::uint64_t{1} << (rng() % 40)));
     w.advance(TimePoint::from_ns(now), [&](const TimingWheel::Entry& e) {
-      const auto it = parked.find(e.seq);
-      ASSERT_TRUE(it != parked.end()) << "unknown or duplicate entry " << e.seq;
+      const auto it = parked.find(e.seq_slot);
+      ASSERT_TRUE(it != parked.end()) << "unknown or duplicate entry " << e.seq_slot;
       EXPECT_EQ(it->second, e.when.ns());
       parked.erase(it);
     });

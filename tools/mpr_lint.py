@@ -33,6 +33,16 @@ cuts by rule:
                   removed from the scheduler and the TCP endpoints. Use a
                   flat sorted vector / ring (tcp/seg_ring.h) or justify the
                   tree with `mpr-lint: allow(ordered-container)`.
+  hot-struct-optional
+                  std::optional data members in the per-packet hot structs
+                  (src/net/packet.h, src/tcp/seg_ring.h): PR 8 replaced the
+                  seven optional option members of TcpSegment with a presence
+                  bitmask + hot/cold layout precisely because interleaved
+                  optionals spread the hot fields over every cache line of
+                  the struct. Use a presence bit + plain member (see
+                  TcpSegment::OptBit) or justify the optional with
+                  `mpr-lint: allow(hot-struct-optional)`. Return types and
+                  locals are fine -- only member declarations are flagged.
 
 Escape hatch: a line carrying (or immediately preceded by) the comment
 
@@ -90,6 +100,16 @@ PTR_KEY_RE = re.compile(r"std::(?:multi)?(?:map|set)\s*<\s*(?:const\s+)?[\w:]+(?
 # Any std::map/std::set instantiation (never matches the unordered_ variants:
 # the regex requires `map`/`set` directly after the `std::` qualifier).
 ORDERED_CONTAINER_RE = re.compile(r"std::(?:multi)?(?:map|set)\s*<")
+
+# Files whose structs ride the per-packet hot path: no std::optional members.
+HOT_STRUCT_FILES = ("net/packet.h", "tcp/seg_ring.h")
+
+# A std::optional *member declaration*: `std::optional<T> name;` possibly with
+# a brace initializer. Function declarations/definitions returning an optional
+# contain a '(' after the name and do not match.
+HOT_STRUCT_OPTIONAL_RE = re.compile(
+    r"std::optional\s*<[^<>;()]*(?:<[^<>]*>)?[^<>;()]*>\s+\w+\s*(?:\{[^{}]*\})?\s*;"
+)
 
 # unordered_map/unordered_set variable declarations; captures the name.
 UNORDERED_DECL_RE = re.compile(
@@ -224,6 +244,7 @@ def lint_file(path: Path, rel: str, unordered_iter: list[tuple[re.Pattern, str]]
     findings: list[Finding] = []
     in_raw_new_scope = any(f"/{d}" in f"/{rel}" for d in RAW_NEW_DIRS)
     in_hot_path_scope = any(f"/{d}" in f"/{rel}" for d in ORDERED_CONTAINER_DIRS)
+    in_hot_struct_scope = any(f"/{rel}".endswith(f"/{f}") for f in HOT_STRUCT_FILES)
 
     def add(idx: int, rule: str, message: str) -> None:
         if rule in allowed_rules(raw_lines, idx):
@@ -237,6 +258,11 @@ def lint_file(path: Path, rel: str, unordered_iter: list[tuple[re.Pattern, str]]
             add(idx, "rand", "non-seeded randomness (use the run's seeded sim::Rng)")
         if PTR_KEY_RE.search(line):
             add(idx, "ptr-key", "pointer-keyed ordered container (address order is nondeterministic)")
+        if in_hot_struct_scope and HOT_STRUCT_OPTIONAL_RE.search(line):
+            add(idx, "hot-struct-optional",
+                "std::optional member in a per-packet hot struct (use a presence bit + "
+                "plain member like TcpSegment::OptBit, or justify with "
+                "allow(hot-struct-optional))")
         if in_hot_path_scope and ORDERED_CONTAINER_RE.search(line):
             add(idx, "ordered-container",
                 "std::map/std::set in a hot-path file (node per element; use a flat "

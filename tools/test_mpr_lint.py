@@ -177,6 +177,46 @@ class OrderedContainerRule(LintFixture):
         self.assertEqual(rules, [])
 
 
+class HotStructOptionalRule(LintFixture):
+    def test_optional_member_flagged_in_packet_h(self):
+        rules, _ = self.lint("std::optional<DssOption> dss;\n", rel="net/packet.h")
+        self.assertIn("hot-struct-optional", rules)
+
+    def test_optional_member_with_initializer_flagged(self):
+        rules, _ = self.lint("std::optional<std::uint64_t> cached_{};\n", rel="tcp/seg_ring.h")
+        self.assertIn("hot-struct-optional", rules)
+
+    def test_optional_return_type_not_flagged(self):
+        rules, _ = self.lint(
+            "std::optional<DssOption> dss_opt() const {\n"
+            "  return has_opt(kOptDss) ? std::optional<DssOption>(dss_) : std::nullopt;\n"
+            "}\n",
+            rel="net/packet.h",
+        )
+        self.assertEqual(rules, [])
+
+    def test_optional_member_elsewhere_not_flagged(self):
+        # Cold-path structs (trace records, reorder segments) may keep optionals.
+        rules, _ = self.lint("std::optional<DssOption> dss;\n", rel="tcp/endpoint.h")
+        self.assertEqual(rules, [])
+
+    def test_allow_comment_suppresses(self):
+        rules, _ = self.lint(
+            "// mpr-lint: allow(hot-struct-optional)\n"
+            "std::optional<DssOption> dss;\n",
+            rel="net/packet.h",
+        )
+        self.assertEqual(rules, [])
+
+    def test_real_hot_structs_are_clean(self):
+        # The rule guards the actual repo files; they must lint clean today.
+        repo = Path(__file__).resolve().parent.parent
+        for rel in ("src/net/packet.h", "src/tcp/seg_ring.h"):
+            path = repo / rel
+            findings = mpr_lint.lint_file(path, rel, [])
+            self.assertEqual([str(f) for f in findings], [], rel)
+
+
 class AllowEscapeHatch(LintFixture):
     def test_same_line_allow(self):
         rules, _ = self.lint("int r = rand();  // mpr-lint: allow(rand)\n")
