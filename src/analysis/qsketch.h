@@ -1,0 +1,98 @@
+// Deterministic mergeable quantile sketch for population-scale campaigns.
+//
+// A QSketch summarizes an arbitrarily large non-negative sample with
+// logarithmically-spaced buckets (DDSketch-style): every inserted value
+// lands in the bucket whose midpoint is within `relative_accuracy()` of it,
+// so any quantile estimate carries the same relative-value guarantee — see
+// the contract on quantile(). Resident size is O(distinct buckets), which
+// for campaign metrics (seconds, milliseconds, fractions) is a few hundred
+// entries regardless of how many million samples were added.
+//
+// Everything is integer-count based and iteration happens in bucket-index
+// order, so a sketch's serialized form is a pure function of the multiset
+// of inserted values: merges are exact (bucket-wise count addition —
+// associative and commutative), serialize/deserialize round-trips
+// bit-identically, and two campaigns that processed the same users in the
+// same per-user order produce byte-identical sketches at any MPR_JOBS.
+// The only non-associative component is the running `sum()` (double
+// addition), which exists for mean() reporting and is excluded from the
+// merge-associativity guarantee; campaign code always merges in user-index
+// order, which keeps even sum() bit-identical across job counts and across
+// checkpoint/resume.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mpr::analysis {
+
+class QSketch {
+ public:
+  /// `alpha` is the relative-accuracy target in (0, 1), default 1 %.
+  explicit QSketch(double alpha = 0.01);
+
+  /// Inserts one sample. Values <= min_trackable() (including all
+  /// non-positive values) are counted in a dedicated zero bucket and
+  /// reported as 0.0 by quantile(); campaign metrics are non-negative, so
+  /// this only ever absorbs genuine zeros (e.g. cellular fraction of a
+  /// WiFi-only run).
+  void add(double value);
+
+  /// Bucket-wise merge. Both sketches must share the same alpha (checked;
+  /// a mismatch throws std::invalid_argument). Counts, min/max and the
+  /// zero bucket merge exactly (associative + commutative); sum() adds in
+  /// call order.
+  void merge(const QSketch& other);
+
+  /// Quantile estimate for q in [0, 1]: the value at rank
+  /// floor(q * (count - 1)) with relative error at most alpha, i.e.
+  /// |quantile(q) - x| <= alpha * x for the exact sample x at that rank
+  /// (exactly 0.0 when that rank falls in the zero bucket). Returns NaN on
+  /// an empty sketch.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::uint64_t count() const { return zero_count_ + bucket_total_; }
+  [[nodiscard]] std::uint64_t zero_count() const { return zero_count_; }
+  /// Running sum of inserted values (zero-bucket samples contribute their
+  /// true value). mean() is NaN on an empty sketch.
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const;
+  /// Exact extremes of the inserted samples; NaN when empty.
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double relative_accuracy() const { return alpha_; }
+  /// Smallest value tracked with relative accuracy (smaller goes to the
+  /// zero bucket).
+  [[nodiscard]] static constexpr double min_trackable() { return 1e-12; }
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+
+  /// Appends a self-delimiting binary encoding to `out` (little-endian,
+  /// buckets in index order — deterministic for a given sample multiset).
+  void serialize(std::string& out) const;
+  /// Parses one sketch from [*cursor, end); advances *cursor past it.
+  /// Returns false (and leaves the sketch empty) on a malformed or
+  /// truncated encoding.
+  [[nodiscard]] bool deserialize(const char** cursor, const char* end);
+
+ private:
+  [[nodiscard]] std::int32_t bucket_index(double value) const;
+  [[nodiscard]] double bucket_midpoint(std::int32_t index) const;
+
+  double alpha_;
+  double gamma_;      // (1 + alpha) / (1 - alpha)
+  double inv_log_gamma_;
+  std::uint64_t zero_count_{0};
+  std::uint64_t bucket_total_{0};
+  double sum_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+  bool has_samples_{false};
+  // Ordered by bucket index so every iteration (quantile walk, serialize)
+  // is deterministic. Outside the packet hot path; ~hundreds of entries.
+  std::map<std::int32_t, std::uint64_t> buckets_;
+};
+
+}  // namespace mpr::analysis

@@ -3,11 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 namespace mpr::analysis {
 
 double quantile_sorted(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
+  if (sorted.empty()) return std::numeric_limits<double>::quiet_NaN();
   if (sorted.size() == 1) return sorted.front();
   q = std::clamp(q, 0.0, 1.0);
   const double pos = q * static_cast<double>(sorted.size() - 1);
@@ -20,7 +21,12 @@ double quantile_sorted(const std::vector<double>& sorted, double q) {
 Summary summarize(std::vector<double> values) {
   Summary s;
   s.n = values.size();
-  if (values.empty()) return s;
+  if (values.empty()) {
+    constexpr double nan = std::numeric_limits<double>::quiet_NaN();
+    s.mean = s.stddev = s.stderr_mean = nan;
+    s.min = s.q1 = s.median = s.q3 = s.max = nan;
+    return s;
+  }
   std::sort(values.begin(), values.end());
 
   double sum = 0.0;

@@ -11,7 +11,10 @@
 
 namespace mpr::analysis {
 
-/// Five-number summary + moments of a sample.
+/// Five-number summary + moments of a sample. For an empty sample every
+/// statistic is NaN (and n == 0); a statistic of no data is undefined, and
+/// NaN propagates loudly where a silent 0.0 used to masquerade as a
+/// measurement. Callers that format summaries must branch on n == 0.
 struct Summary {
   std::size_t n{0};
   double mean{0};
@@ -25,9 +28,12 @@ struct Summary {
 };
 
 /// Computes the summary; `values` is copied and sorted internally.
+/// An empty input yields the all-NaN summary described on Summary.
 [[nodiscard]] Summary summarize(std::vector<double> values);
 
 /// Linear-interpolation quantile of a *sorted* sample, q in [0, 1].
+/// Contract: returns NaN on an empty sample (there is no value at any
+/// rank), never a fabricated 0.0.
 [[nodiscard]] double quantile_sorted(const std::vector<double>& sorted, double q);
 
 /// Convenience: durations in milliseconds.

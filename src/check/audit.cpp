@@ -36,6 +36,10 @@ std::string AuditViolation::to_string() const {
 AuditError::AuditError(AuditViolation v)
     : std::runtime_error(v.to_string()), v_{std::move(v)} {}
 
+AuditError synthetic_error(std::string rule, std::string detail) {
+  return AuditError{AuditViolation{.rule = std::move(rule), .detail = std::move(detail)}};
+}
+
 void report(AuditViolation v) { dispatch(std::move(v)); }
 
 void report_nothrow(AuditViolation v) noexcept {

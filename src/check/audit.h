@@ -58,6 +58,13 @@ class AuditError : public std::runtime_error {
 
 using AuditHandler = std::function<void(const AuditViolation&)>;
 
+/// Builds the AuditError a real violation of `rule` would raise, without
+/// touching the process-wide counters or the thread's handler. Fault
+/// injection for quarantine drills: campaign tests throw this from a
+/// per-user hook to prove a run that audits out is recorded and skipped,
+/// not fatal to the sweep.
+[[nodiscard]] AuditError synthetic_error(std::string rule, std::string detail);
+
 /// Report a violation: bumps the process-wide counter, then invokes the
 /// current thread's handler (default: throw AuditError).
 void report(AuditViolation v);

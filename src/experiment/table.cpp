@@ -14,6 +14,7 @@ void print_row(const std::vector<std::string>& cells) {
 }
 
 std::string fmt_box(const analysis::Summary& s, const std::string& unit) {
+  if (s.n == 0) return "-";  // empty summaries are all-NaN by contract
   char buf[128];
   std::snprintf(buf, sizeof buf, "%.2f/%.2f/%.2f/%.2f/%.2f%s", s.min, s.q1, s.median, s.q3,
                 s.max, unit.c_str());

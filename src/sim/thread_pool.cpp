@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <utility>
 
 namespace mpr::sim {
 
@@ -34,6 +35,11 @@ void ThreadPool::submit(Job job) {
 void ThreadPool::wait() {
   std::unique_lock<std::mutex> lock{mu_};
   idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_ != nullptr) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -46,9 +52,17 @@ void ThreadPool::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
-    job();
+    // An exception escaping a job must reach the dispatcher (via wait()),
+    // never std::terminate the whole campaign off a worker thread.
+    std::exception_ptr err;
+    try {
+      job();
+    } catch (...) {
+      err = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock{mu_};
+      if (err != nullptr && first_error_ == nullptr) first_error_ = err;
       if (--in_flight_ == 0) idle_cv_.notify_all();
     }
   }
@@ -67,24 +81,43 @@ unsigned effective_jobs(int requested) {
 void parallel_for_index(std::size_t n, unsigned jobs,
                         const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
-  if (jobs <= 1 || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
-    return;
-  }
-  if (static_cast<std::size_t>(jobs) > n) jobs = static_cast<unsigned>(n);
-  // One counter, one submit per worker: each worker claims the next unclaimed
-  // index until the range is exhausted. No per-index queue traffic.
-  std::atomic<std::size_t> next{0};
-  ThreadPool pool{jobs};
-  for (unsigned w = 0; w < jobs; ++w) {
-    pool.submit([&] {
-      for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
-           i = next.fetch_add(1, std::memory_order_relaxed)) {
-        body(i);
+  // Per-index exception capture, schedule-invariantly reduced to the lowest
+  // failing index: every index runs regardless of other indices' failures,
+  // and the winner does not depend on which worker noticed a throw first.
+  std::mutex err_mu;
+  std::size_t err_index = n;
+  std::exception_ptr err;
+  const auto guarded = [&](std::size_t i) {
+    try {
+      body(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock{err_mu};
+      if (i < err_index) {
+        err_index = i;
+        err = std::current_exception();
       }
-    });
+    }
+  };
+  if (jobs <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) guarded(i);
+  } else {
+    if (static_cast<std::size_t>(jobs) > n) jobs = static_cast<unsigned>(n);
+    // One counter, one submit per worker: each worker claims the next
+    // unclaimed index until the range is exhausted. No per-index queue
+    // traffic.
+    std::atomic<std::size_t> next{0};
+    ThreadPool pool{jobs};
+    for (unsigned w = 0; w < jobs; ++w) {
+      pool.submit([&] {
+        for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+             i = next.fetch_add(1, std::memory_order_relaxed)) {
+          guarded(i);
+        }
+      });
+    }
+    pool.wait();
   }
-  pool.wait();
+  if (err != nullptr) std::rethrow_exception(err);
 }
 
 }  // namespace mpr::sim

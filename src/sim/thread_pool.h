@@ -9,6 +9,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -27,10 +28,16 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a job. Jobs must not throw; an escaping exception terminates.
+  /// Enqueues a job. An exception escaping the job is captured by the
+  /// worker (never std::terminate) and rethrown from the next wait() —
+  /// see there for the multi-failure rule.
   void submit(Job job);
 
-  /// Blocks until every submitted job has finished executing.
+  /// Blocks until every submitted job has finished executing, then rethrows
+  /// the first captured job exception, if any (later ones are dropped; the
+  /// dispatcher learns the campaign is broken, not every way it broke).
+  /// Remaining queued jobs still run to completion first, so a slot-indexed
+  /// result array is fully populated even on failure.
   void wait();
 
   [[nodiscard]] unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
@@ -43,6 +50,7 @@ class ThreadPool {
   std::condition_variable idle_cv_;   // waiters: all jobs drained
   std::deque<Job> queue_;
   std::size_t in_flight_{0};          // queued + currently running
+  std::exception_ptr first_error_;    // first escaping job exception
   bool stop_{false};
   std::vector<std::thread> workers_;
 };
@@ -56,6 +64,12 @@ class ThreadPool {
 /// when jobs <= 1 or n <= 1, preserving index order exactly). Each index is
 /// executed exactly once; bodies must only touch their own slot of any
 /// shared output.
+///
+/// Exception contract (identical at every job count, so bit-identity
+/// extends to the failure path): every index runs even if some throw, and
+/// afterwards the exception thrown by the *lowest* failing index is
+/// rethrown to the caller. Campaign code that wants per-cell quarantine
+/// instead must catch inside its own body.
 void parallel_for_index(std::size_t n, unsigned jobs,
                         const std::function<void(std::size_t)>& body);
 

@@ -2,6 +2,8 @@
 // tcptrace-style flow analyzer (cross-validated against endpoint metrics).
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "analysis/pcap.h"
 #include "analysis/stats.h"
 #include "analysis/trace.h"
@@ -14,10 +16,25 @@
 namespace mpr::analysis {
 namespace {
 
-TEST(Stats, EmptySampleIsZeroed) {
+TEST(Stats, EmptySampleIsAllNaN) {
+  // Documented contract: an empty sample yields n == 0 and NaN everywhere —
+  // a fabricated 0.0 would be indistinguishable from a real measurement.
   const Summary s = summarize({});
   EXPECT_EQ(s.n, 0u);
-  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_TRUE(std::isnan(s.mean));
+  EXPECT_TRUE(std::isnan(s.stddev));
+  EXPECT_TRUE(std::isnan(s.stderr_mean));
+  EXPECT_TRUE(std::isnan(s.min));
+  EXPECT_TRUE(std::isnan(s.q1));
+  EXPECT_TRUE(std::isnan(s.median));
+  EXPECT_TRUE(std::isnan(s.q3));
+  EXPECT_TRUE(std::isnan(s.max));
+}
+
+TEST(Stats, QuantileOfEmptySampleIsNaN) {
+  EXPECT_TRUE(std::isnan(quantile_sorted({}, 0.0)));
+  EXPECT_TRUE(std::isnan(quantile_sorted({}, 0.5)));
+  EXPECT_TRUE(std::isnan(quantile_sorted({}, 1.0)));
 }
 
 TEST(Stats, SingleValue) {

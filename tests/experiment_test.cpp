@@ -197,12 +197,15 @@ TEST(Table, Formatting) {
   EXPECT_EQ(fmt_scalar(1.2345, "s"), "1.23s");
   EXPECT_EQ(fmt_scalar(1.2345, "ms", 1), "1.2ms");
   analysis::Summary s;
+  s.n = 5;
   s.min = 1;
   s.q1 = 2;
   s.median = 3;
   s.q3 = 4;
   s.max = 5;
   EXPECT_EQ(fmt_box(s, "s"), "1.00/2.00/3.00/4.00/5.00s");
+  // An empty summary is all-NaN by contract; fmt_box renders it as "-".
+  EXPECT_EQ(fmt_box(analysis::Summary{}, "s"), "-");
 }
 
 TEST(Run, PingWarmupAvoidsRrcPenalty) {

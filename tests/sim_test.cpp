@@ -480,6 +480,54 @@ TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
   EXPECT_TRUE(ran);
 }
 
+TEST(ThreadPoolTest, JobExceptionReachesWait) {
+  ThreadPool pool{2};
+  pool.submit([] { throw std::runtime_error{"boom"}; });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, RemainingJobsStillRunAfterAThrow) {
+  ThreadPool pool{2};
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&count, i] {
+      if (i == 7) throw std::runtime_error{"boom"};
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  EXPECT_EQ(count.load(), 49);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterAnException) {
+  ThreadPool pool{2};
+  pool.submit([] { throw std::runtime_error{"boom"}; });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  std::atomic<int> count{0};
+  pool.submit([&count] { ++count; });
+  pool.wait();  // must not rethrow the already-consumed error
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelForIndex, ThrowRethrownAtLowestIndexEveryJobCount) {
+  for (const unsigned jobs : {1u, 3u, 8u}) {
+    std::vector<std::atomic<int>> hits(57);
+    try {
+      parallel_for_index(hits.size(), jobs, [&hits](std::size_t i) {
+        ++hits[i];
+        if (i == 11 || i == 40) throw std::runtime_error{"idx " + std::to_string(i)};
+      });
+      FAIL() << "expected a rethrow at jobs=" << jobs;
+    } catch (const std::runtime_error& e) {
+      // Schedule-invariant: the *lowest* failing index wins regardless of
+      // which worker observed its throw first.
+      EXPECT_STREQ(e.what(), "idx 11") << "jobs=" << jobs;
+    }
+    // Every index still ran, including those past the failing ones.
+    for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
 TEST(ParallelForIndex, CoversEachIndexExactlyOnce) {
   for (const unsigned jobs : {1u, 3u, 8u}) {
     std::vector<std::atomic<int>> hits(57);

@@ -25,11 +25,24 @@
 //   --reps     repetitions (default 1)
 //   --jobs     worker threads for the reps (default MPR_JOBS, else all cores)
 //   --json     machine-readable output
+//
+// Population-campaign mode (see EXPERIMENTS.md "Population campaigns"):
+//   mpr_run --campaign pop.spec --checkpoint pop.ckpt
+//   mpr_run --campaign pop.spec --checkpoint pop.ckpt --resume
+//
+//   --campaign   campaign spec file; replaces the single-run flags above
+//   --checkpoint checkpoint path (written atomically every checkpoint-every
+//                users and on SIGINT/SIGTERM)
+//   --resume     continue from --checkpoint instead of starting over
+//   Exit codes: 0 complete, 1 error, 2 failure budget exhausted,
+//               128+signal when interrupted (checkpoint written first).
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "cli_flags.h"
+#include "experiment/campaign.h"
 #include "experiment/carriers.h"
 #include "experiment/run.h"
 #include "experiment/series.h"
@@ -144,6 +157,104 @@ void print_text(const RunResult& r) {
   }
 }
 
+void print_sketch_text(const char* name, const analysis::QSketch& s) {
+  if (s.count() == 0) {
+    std::printf("%-18s -\n", name);
+    return;
+  }
+  std::printf("%-18s n=%llu  p10=%.3f  p50=%.3f  p90=%.3f  p99=%.3f  max=%.3f\n", name,
+              static_cast<unsigned long long>(s.count()), s.quantile(0.10), s.quantile(0.50),
+              s.quantile(0.90), s.quantile(0.99), s.max());
+}
+
+void print_sketch_json(const char* name, const analysis::QSketch& s, bool trailing_comma) {
+  std::printf("\"%s\":{\"n\":%llu,\"p10\":%.6f,\"p50\":%.6f,\"p90\":%.6f,\"p99\":%.6f,"
+              "\"max\":%.6f}%s",
+              name, static_cast<unsigned long long>(s.count()), s.quantile(0.10),
+              s.quantile(0.50), s.quantile(0.90), s.quantile(0.99), s.max(),
+              trailing_comma ? "," : "");
+}
+
+int run_campaign_cli(const tools::Flags& flags) {
+  std::string error;
+  const CampaignSpec spec = CampaignSpec::parse_file(flags.get("campaign"), &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "mpr_run: --campaign: %s\n", error.c_str());
+    return 1;
+  }
+
+  CampaignOptions opt;
+  opt.checkpoint_path = flags.get("checkpoint", "");
+  opt.resume = flags.get_bool("resume");
+  opt.jobs = static_cast<int>(flags.get_int("jobs", 0));
+  opt.handle_signals = true;
+
+  const std::optional<CampaignResult> res = run_campaign(spec, opt, &error);
+  if (!res) {
+    std::fprintf(stderr, "mpr_run: campaign: %s\n", error.c_str());
+    return 1;
+  }
+  const CampaignAggregates& agg = res->agg;
+
+  if (flags.get_bool("json")) {
+    std::printf("{\"users\":%llu,\"users_done\":%llu,\"completed\":%llu,\"timeouts\":%llu,"
+                "\"quarantined\":%llu,\"delivered_bytes\":%llu,"
+                "\"interrupted\":%s,\"budget_exhausted\":%s,",
+                static_cast<unsigned long long>(spec.users),
+                static_cast<unsigned long long>(res->users_done),
+                static_cast<unsigned long long>(agg.completed),
+                static_cast<unsigned long long>(agg.timeouts),
+                static_cast<unsigned long long>(agg.quarantined()),
+                static_cast<unsigned long long>(agg.delivered_bytes),
+                res->interrupted ? "true" : "false", res->budget_exhausted ? "true" : "false");
+    print_sketch_json("download_time_s", agg.download_time_s, true);
+    print_sketch_json("cellular_fraction", agg.cellular_fraction, true);
+    print_sketch_json("ofo_delay_ms", agg.ofo_delay_ms, false);
+    std::printf("}\n");
+  } else {
+    std::printf("campaign:         %llu/%llu users done (%llu completed, %llu timeouts, "
+                "%llu quarantined)\n",
+                static_cast<unsigned long long>(res->users_done),
+                static_cast<unsigned long long>(spec.users),
+                static_cast<unsigned long long>(agg.completed),
+                static_cast<unsigned long long>(agg.timeouts),
+                static_cast<unsigned long long>(agg.quarantined()));
+    print_sketch_text("download time [s]:", agg.download_time_s);
+    print_sketch_text("cellular share:", agg.cellular_fraction);
+    print_sketch_text("ofo delay [ms]:", agg.ofo_delay_ms);
+    if (agg.quarantined() > 0) {
+      std::printf("quarantine:       connection=%llu watchdog=%llu audit=%llu exception=%llu\n",
+                  static_cast<unsigned long long>(agg.quarantined_connection),
+                  static_cast<unsigned long long>(agg.quarantined_watchdog),
+                  static_cast<unsigned long long>(agg.quarantined_audit),
+                  static_cast<unsigned long long>(agg.quarantined_exception));
+      const std::size_t show = std::min<std::size_t>(agg.quarantine.size(), 10);
+      for (std::size_t i = 0; i < show; ++i) {
+        const QuarantineRecord& q = agg.quarantine[i];
+        std::printf("  user %llu seed %llu [%s]: %s\n",
+                    static_cast<unsigned long long>(q.user),
+                    static_cast<unsigned long long>(q.seed), q.label.c_str(),
+                    q.reason.c_str());
+      }
+      if (agg.quarantine.size() > show) {
+        std::printf("  ... %zu more retained in the checkpoint\n", agg.quarantine.size() - show);
+      }
+    }
+  }
+
+  if (res->budget_exhausted) {
+    std::fprintf(stderr, "mpr_run: campaign: failure budget exhausted (%llu quarantined)\n",
+                 static_cast<unsigned long long>(agg.quarantined()));
+    return 2;
+  }
+  if (res->interrupted) {
+    std::fprintf(stderr, "mpr_run: campaign: interrupted by signal %d, checkpoint written\n",
+                 res->signal);
+    return 128 + res->signal;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -152,6 +263,7 @@ int main(int argc, char** argv) {
     std::printf("see the header of tools/mpr_run.cpp for flags\n");
     return 0;
   }
+  if (flags.has("campaign")) return run_campaign_cli(flags);
 
   TestbedConfig tb;
   tb.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
