@@ -578,7 +578,7 @@ void MptcpConnection::on_data_ack(std::uint64_t data_ack) {
          dup_queue_.front().dsn + dup_queue_.front().len <= data_una_) {
     dup_queue_.pop_front();
   }
-  std::erase_if(reinjected_dsns_, [this](const auto& kv) { return kv.first < data_una_; });
+  reinjected_dsns_.erase_below(data_una_);
   maybe_close_subflows();
   pump_all();
 }
@@ -594,13 +594,14 @@ void MptcpConnection::maybe_close_subflows() {
 void MptcpConnection::strand(MptcpSubflow& sf) {
   for (const auto& m : sf.outstanding_mappings()) {
     if (m.dsn + m.len <= data_una_) continue;  // already delivered
-    const auto [it, inserted] = reinjected_dsns_.try_emplace(m.dsn, sf.id());
-    if (!inserted) {
+    if (std::uint8_t* origin = reinjected_dsns_.find(m.dsn)) {
       // Already reinjected once. Same origin: still queued/in flight
       // elsewhere, nothing to do. Different origin: *this* subflow was the
       // reinjection target and has now died too — queue it again.
-      if (it->second == sf.id()) continue;
-      it->second = sf.id();
+      if (*origin == sf.id()) continue;
+      *origin = sf.id();
+    } else {
+      reinjected_dsns_.insert(m.dsn, sf.id());
     }
     reinject_queue_.push_back(Reinject{m.dsn, m.len, sf.id()});
   }

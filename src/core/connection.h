@@ -18,7 +18,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -33,6 +32,8 @@
 #include "core/scheduler.h"
 #include "core/subflow.h"
 #include "net/host.h"
+#include "sim/flat_vec.h"
+#include "tcp/seg_ring.h"
 
 namespace mpr::core {
 
@@ -301,16 +302,15 @@ class MptcpConnection {
   /// Reinject::origin sentinel: the chunk may go out on any subflow (used
   /// when the peer's MP_FAIL does not identify a dead subflow to avoid).
   static constexpr std::uint8_t kReinjectAnyOrigin = 0xff;
-  std::deque<Reinject> reinject_queue_;
+  sim::FlatDeque<Reinject> reinject_queue_;
   /// dsn -> id of the subflow that most recently stranded it. A map (not a
   /// set) so that when the reinjection *target* dies too, the chunk is
   /// queued again instead of being dropped by the dedup check — a cascading
-  /// failure must not strand data permanently. Ordered: erase_if sweeps on
-  /// data-ack progress must visit DSNs deterministically (mpr-lint
-  /// unordered-iter). Populated only while a subflow is failing over, so
-  /// the tree never sits on the steady-state per-packet path.
-  // mpr-lint: allow(ordered-container)
-  std::map<std::uint64_t, std::uint8_t> reinjected_dsns_;
+  /// failure must not strand data permanently. A sorted flat map: sweeps on
+  /// data-ack progress visit DSNs deterministically, and the on_data_ack
+  /// trim is a tail shift instead of per-node frees (the hotpath audit
+  /// bans allocation in that function's emitted code).
+  tcp::SeqFlatMap<std::uint8_t> reinjected_dsns_;
   std::uint64_t reinjected_chunks_{0};
   /// Redundant-scheduler duplicates awaiting a second subflow: every fresh
   /// chunk handed out while the redundant strategy is active is queued here
@@ -318,7 +318,7 @@ class MptcpConnection {
   /// *other* subflow to pump. Duplicates are opportunistic: entries the peer
   /// data-acks first are dropped, and an entry nobody else can carry simply
   /// ages out once acked — the original copy guarantees delivery.
-  std::deque<Reinject> dup_queue_;
+  sim::FlatDeque<Reinject> dup_queue_;
   std::uint64_t redundant_chunks_{0};
 
   bool established_{false};

@@ -5,4 +5,17 @@ namespace mpr::net {
 std::atomic<std::uint64_t> PacketPool::total_allocs_{0};
 std::atomic<std::uint64_t> PacketPool::total_reuses_{0};
 
+Packet* PacketPool::grow_and_acquire() {
+  storage_.push_back(std::make_unique<Packet>());
+  // Keep release()'s unchecked append safe: every pooled packet can sit in
+  // the freelist at most once, so capacity >= population suffices forever.
+  free_.reserve(storage_.size());
+  Packet* p = storage_.back().get();
+  p->origin_pool = this;
+  ++stats_allocs_;
+  const std::uint64_t outstanding = storage_.size() - free_.size();
+  if (outstanding > high_water_) high_water_ = outstanding;
+  return p;
+}
+
 }  // namespace mpr::net

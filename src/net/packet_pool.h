@@ -28,6 +28,7 @@
 
 #include "check/audit.h"
 #include "net/packet.h"
+#include "sim/flat_vec.h"
 
 namespace mpr::net {
 
@@ -101,7 +102,9 @@ class PacketPool {
     total_reuses_.fetch_add(stats_reuses_, std::memory_order_relaxed);
   }
 
-  /// A fresh (field-reset) packet, recycled when possible.
+  /// A fresh (field-reset) packet, recycled when possible. The miss path
+  /// lives out of line in grow_and_acquire() so callers' emitted code stays
+  /// allocation-free (the miss is once per high-water packet, not per hop).
   [[nodiscard]] PacketPtr acquire() {
     Packet* p;
     if (!free_.empty()) {
@@ -110,12 +113,7 @@ class PacketPool {
       p->reset_fields();
       ++stats_reuses_;
     } else {
-      storage_.push_back(std::make_unique<Packet>());
-      p = storage_.back().get();
-      p->origin_pool = this;
-      ++stats_allocs_;
-      const std::uint64_t outstanding = storage_.size() - free_.size();
-      if (outstanding > high_water_) high_water_ = outstanding;
+      p = grow_and_acquire();
     }
 #if MPR_AUDIT
     ledger_.on_acquire(p);
@@ -124,13 +122,15 @@ class PacketPool {
   }
 
   /// Returns `p` to the freelist. Called by PacketPtr; `p` must have been
-  /// acquired from this pool and not already released.
+  /// acquired from this pool and not already released. The append is
+  /// branch-free: grow_and_acquire() keeps free_'s capacity at least the
+  /// population size, and a packet can be in the freelist at most once.
   void release(Packet* p) {
     assert(p != nullptr && p->origin_pool == this);
 #if MPR_AUDIT
     ledger_.on_release(p);  // throws on double-release before the freelist is corrupted
 #endif
-    free_.push_back(p);
+    free_.push_back_unchecked(p);
   }
 
   [[nodiscard]] Stats stats() const {
@@ -149,8 +149,12 @@ class PacketPool {
   }
 
  private:
+  // Grows the population by one and hands the new packet out. Out of line
+  // and cold: this is the only allocation behind acquire()/release().
+  [[gnu::noinline, gnu::cold]] Packet* grow_and_acquire();
+
   std::vector<std::unique_ptr<Packet>> storage_;  // stable addresses
-  std::vector<Packet*> free_;
+  sim::FlatVec<Packet*> free_;  // capacity invariant: >= storage_.size()
   std::uint64_t stats_allocs_{0};
   std::uint64_t stats_reuses_{0};
   std::uint64_t high_water_{0};

@@ -21,8 +21,7 @@ bool DropTailQueue::enqueue(PacketPtr p, sim::TimePoint now) {
 
 PacketPtr DropTailQueue::dequeue(sim::TimePoint /*now*/) {
   if (queue_.empty()) return PacketPtr{};
-  PacketPtr p = std::move(queue_.front());
-  queue_.pop_front();
+  PacketPtr p = queue_.pop_front();
   bytes_ -= p->wire_bytes();
   return p;
 }
@@ -48,8 +47,7 @@ CodelQueue::Front CodelQueue::do_dequeue(sim::TimePoint now) {
     has_first_above_ = false;
     return f;
   }
-  PacketPtr p = std::move(queue_.front());
-  queue_.pop_front();
+  PacketPtr p = queue_.pop_front();
   bytes_ -= p->wire_bytes();
 
   const sim::Duration sojourn = now - p->enqueue_time;

@@ -13,12 +13,12 @@
 
 #include <cmath>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 
 #include "net/packet.h"
 #include "net/packet_pool.h"
+#include "sim/flat_vec.h"
 #include "sim/time.h"
 
 namespace mpr::net {
@@ -65,7 +65,9 @@ class DropTailQueue final : public QueueDiscipline {
  private:
   std::uint64_t capacity_;
   std::uint64_t bytes_{0};
-  std::deque<PacketPtr> queue_;
+  // FlatRing, not std::deque: a deque frees its map blocks inside pop_front,
+  // putting operator delete in dequeue's emitted code (see sim/flat_vec.h).
+  sim::FlatRing<PacketPtr> queue_;
 };
 
 /// CoDel (RFC 8289): drops at dequeue when the standing (sojourn) delay has
@@ -100,7 +102,7 @@ class CodelQueue final : public QueueDiscipline {
 
   Params params_;
   std::uint64_t bytes_{0};
-  std::deque<PacketPtr> queue_;
+  sim::FlatRing<PacketPtr> queue_;  // see DropTailQueue::queue_
 
   sim::TimePoint first_above_time_{};
   bool has_first_above_{false};

@@ -23,8 +23,11 @@ EventQueue::EventQueue() {
 }
 
 EventQueue::~EventQueue() {
+  for (Action* chunk : arena_) delete[] chunk;
   total_executed_.fetch_add(executed_, std::memory_order_relaxed);
 }
+
+void EventQueue::grow_arena() { arena_.push_back(new Action[kArenaChunkSize]); }
 
 std::uint32_t EventQueue::acquire_slot(Action&& action) {
   if (!free_slots_.empty()) {
@@ -48,7 +51,7 @@ std::uint32_t EventQueue::acquire_slot(Action&& action) {
   // hard programming error it is rather than corrupting event order.
   if (slot >= kMaxSlots) std::abort();
   if ((slot_count_ & (kArenaChunkSize - 1)) == 0) {
-    arena_.push_back(std::make_unique<Action[]>(kArenaChunkSize));
+    grow_arena();
   }
   ++slot_count_;
   meta_.push_back(SlotMeta{0, 1});

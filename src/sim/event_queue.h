@@ -44,10 +44,9 @@
 #include <atomic>
 #include <cstdint>
 #include <limits>
-#include <memory>
-#include <vector>
 
 #include "check/audit.h"
+#include "sim/flat_vec.h"
 #include "sim/inline_function.h"
 #include "sim/time.h"
 #include "sim/timing_wheel.h"
@@ -167,6 +166,10 @@ class EventQueue {
   std::uint32_t acquire_slot(Action&& action);
   void release_slot(std::uint32_t slot);  // bumps generation, recycles
 
+  // Appends one arena chunk. Out of line and cold: acquire_slot is on the
+  // audited hot path, and this is its only allocation.
+  [[gnu::noinline, gnu::cold]] void grow_arena();
+
   void heap_push(HeapRec rec);
   void heap_pop_top();
 
@@ -183,12 +186,14 @@ class EventQueue {
   /// Executes the live event in `slot` in place, then recycles the slot.
   void execute_slot(std::uint32_t slot, std::int64_t t_ns);
 
-  std::vector<HeapRec> heap_;
-  std::vector<SlotMeta> meta_;                    // dense: liveness/generation only
-  std::vector<std::unique_ptr<Action[]>> arena_;  // stable chunks of actions
+  // FlatVec, not std::vector: these five grow on the audited hot path, and
+  // FlatVec keeps the reallocation out of line (see sim/flat_vec.h).
+  FlatVec<HeapRec> heap_;
+  FlatVec<SlotMeta> meta_;  // dense: liveness/generation only
+  FlatVec<Action*> arena_;  // stable owned chunks of actions (freed in dtor)
   std::size_t slot_count_{0};
-  std::vector<std::uint32_t> free_slots_;
-  std::vector<std::uint32_t> batch_;  // scratch: slots of the popped run
+  FlatVec<std::uint32_t> free_slots_;
+  FlatVec<std::uint32_t> batch_;  // scratch: slots of the popped run
   TimingWheel wheel_;
   std::int64_t wheel_next_due_ns_{kNoWheelEvent};
   TimePoint now_{};

@@ -28,8 +28,8 @@
 #include <bit>
 #include <cassert>
 #include <cstdint>
-#include <vector>
 
+#include "sim/flat_vec.h"
 #include "sim/time.h"
 
 namespace mpr::sim {
@@ -113,7 +113,7 @@ class TimingWheel {
   template <typename Sink>
   void open_slot(int level, std::int64_t start, std::int64_t target, Sink&& sink) {
     const int index = static_cast<int>((start >> (kSlotBits * level)) & (kSlots - 1));
-    std::vector<Entry>& bucket = buckets_[level][index];
+    FlatVec<Entry>& bucket = buckets_[level][index];
     occupied_[level] &= ~(std::uint64_t{1} << index);
     // The cursor has logically reached this slot; re-bucketing of any
     // cascaded entry is relative to it.
@@ -141,8 +141,10 @@ class TimingWheel {
   std::size_t size_{0};
   TimePoint next_due_{TimePoint::max()};
   std::uint64_t occupied_[kLevels]{};
-  std::vector<Entry> buckets_[kLevels][kSlots];
-  std::vector<Entry> scratch_;
+  // FlatVec keeps bucket growth out of insert()'s emitted code — insert is
+  // on the audited hot path (see sim/flat_vec.h).
+  FlatVec<Entry> buckets_[kLevels][kSlots];
+  FlatVec<Entry> scratch_;
 };
 
 static_assert(sizeof(TimingWheel::Entry) == 16,

@@ -152,6 +152,20 @@ class SeqFlatMap {
     v_.erase(v_.begin() + static_cast<std::ptrdiff_t>(i));
   }
 
+  /// Value stored at exactly `seq`; nullptr if absent.
+  [[nodiscard]] T* find(std::uint64_t seq) {
+    const std::size_t i = lower_bound(seq);
+    if (i == v_.size() || v_[i].seq != seq) return nullptr;
+    return &v_[i].val;
+  }
+
+  /// Removes every record with rec.seq < seq (cumulative-ack sweep). A
+  /// shift of the surviving tail — no node frees, unlike a tree erase.
+  void erase_below(std::uint64_t seq) {
+    const std::size_t i = lower_bound(seq);
+    v_.erase(v_.begin(), v_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+
   [[nodiscard]] std::size_t lower_bound(std::uint64_t seq) const {
     std::size_t lo = 0;
     std::size_t hi = v_.size();

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""mpr_analyze -- build-aware static analysis for the simulator tree.
+
+Three passes above tools/mpr_lint.py's token rules (see README "Static
+analysis" for the full three-tier story):
+
+  layering  #include-graph checks against the module DAG declared in
+            tools/mpr_analyze.conf: cycles, layer inversions, unresolved
+            includes, orphan headers. Needs only the source tree.
+  hotpath   nm/objdump audit of the declared hot-path functions from an
+            optimized build: no allocation/throw/time/random calls may
+            survive inlining into their emitted code.
+  reach     symbol-level call-graph reachability from simulation entry
+            points to banned nondeterminism sources, path included in
+            the finding.
+
+Suppressions/baseline: tools/mpr_analyze_suppressions.txt, one
+`<rule> | <location-glob> | <justification>` per line. Findings are
+emitted as human-readable text and (with --json) a machine-readable
+report CI archives as an artifact.
+
+Usage: mpr_analyze.py [--root DIR] [--build DIR] [--json FILE] [pass...]
+Exit status: 0 clean, 1 findings, 2 usage/environment error
+(the same contract as mpr_lint.py).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from mpranalyze import hotpath, layering, reach  # noqa: E402
+from mpranalyze.config import ConfigError, load_config  # noqa: E402
+from mpranalyze.findings import Report, SuppressionError, load_suppressions  # noqa: E402
+from mpranalyze.objects import ToolError, build_model  # noqa: E402
+
+ALL_PASSES = ("layering", "hotpath", "reach")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=None, help="repo root (default: the tools/ parent)")
+    ap.add_argument(
+        "--build",
+        default=None,
+        help="build dir with compile_commands.json + objects"
+        " (required for the hotpath/reach passes; default: <root>/build)",
+    )
+    ap.add_argument("--config", default=None, help="config file (default: tools/mpr_analyze.conf)")
+    ap.add_argument(
+        "--suppressions",
+        default=None,
+        help="suppression/baseline file (default: tools/mpr_analyze_suppressions.txt)",
+    )
+    ap.add_argument("--json", default=None, help="also write a JSON report to this path")
+    ap.add_argument(
+        "passes",
+        nargs="*",
+        default=[],
+        help=f"passes to run, in order (default: all of {', '.join(ALL_PASSES)})",
+    )
+    args = ap.parse_args()
+
+    root = Path(args.root).resolve() if args.root else Path(__file__).resolve().parent.parent
+    build = Path(args.build).resolve() if args.build else root / "build"
+    config_path = Path(args.config) if args.config else root / "tools" / "mpr_analyze.conf"
+    sup_path = (
+        Path(args.suppressions)
+        if args.suppressions
+        else root / "tools" / "mpr_analyze_suppressions.txt"
+    )
+    passes = args.passes or list(ALL_PASSES)
+    for p in passes:
+        if p not in ALL_PASSES:
+            print(f"mpr_analyze: unknown pass '{p}' (known: {', '.join(ALL_PASSES)})",
+                  file=sys.stderr)
+            return 2
+
+    try:
+        cfg = load_config(config_path)
+        report = Report(suppressions=load_suppressions(sup_path))
+    except (ConfigError, SuppressionError, OSError) as e:
+        print(f"mpr_analyze: {e}", file=sys.stderr)
+        return 2
+
+    try:
+        if "layering" in passes:
+            report.extend(layering.run_pass(root, cfg))
+            report.passes_run.append("layering")
+        if "hotpath" in passes or "reach" in passes:
+            model = build_model(build, root)
+            if "hotpath" in passes:
+                report.extend(hotpath.run_pass(cfg, model))
+                report.passes_run.append("hotpath")
+            if "reach" in passes:
+                report.extend(reach.run_pass(cfg, model))
+                report.passes_run.append("reach")
+    except ToolError as e:
+        print(f"mpr_analyze: {e}", file=sys.stderr)
+        return 2
+
+    report.finish(sup_path if sup_path.exists() else None)
+    print(report.render_human())
+    if args.json:
+        report.write_json(Path(args.json))
+    return 1 if report.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,7 +48,9 @@ Escape hatch: a line carrying (or immediately preceded by) the comment
 
     // mpr-lint: allow(<rule>[, <rule>...])
 
-suppresses the named rule(s) on that line.
+suppresses the named rule(s) on that line. For a statement spanning
+multiple lines, the allow() may also trail the statement's last physical
+line (the one ending in `;`/`{`/`}`).
 
 Usage: mpr_lint.py [--root DIR] [paths...]    (default path: src)
 Exit status: 0 clean, 1 findings, 2 usage error.
@@ -73,6 +75,10 @@ RAW_NEW_DIRS = ("net/", "tcp/", "core/")
 ORDERED_CONTAINER_DIRS = ("net/", "tcp/", "core/", "sim/")
 
 ALLOW_RE = re.compile(r"mpr-lint:\s*allow\(([^)]*)\)")
+
+# A line whose code portion ends the enclosing statement (for the forward
+# allow() scan over multi-line statements).
+STATEMENT_END_RE = re.compile(r"[;{}]")
 
 WALLCLOCK_RE = re.compile(
     r"std::chrono::(?:system_clock|steady_clock|high_resolution_clock)"
@@ -117,21 +123,48 @@ UNORDERED_DECL_RE = re.compile(
 )
 
 
+# Encoding prefixes that turn `"` into a raw-string opener when suffixed
+# with R (maximal identifier run immediately before the quote).
+_RAW_PREFIXES = ("R", "u8R", "uR", "UR", "LR")
+
+
 def strip_comments_and_strings(text: str) -> list[str]:
     """Per-line copy of `text` with comments and string/char literals blanked.
 
     Layout (line count, column positions) is preserved so findings point at
     the real source. The original lines are kept separately for allow().
+
+    Handles the token shapes a naive quote scanner corrupts: digit
+    separators (1'000'000 — a pp-number state, so u8'a' still opens a char
+    literal) and raw strings (R"delim(...)delim" — contents blanked through
+    the matching close, however many quotes or escapes they contain).
     """
     out = []
     i = 0
     n = len(text)
     state = "code"  # code | line_comment | block_comment | string | char
     cur = []
+    prev = ""  # previous source char consumed in code state
+    in_number = False  # inside a pp-number token (digit separators live here)
     while i < n:
         c = text[i]
         nxt = text[i + 1] if i + 1 < n else ""
         if state == "code":
+            if in_number:
+                # pp-number: digits, letters (hex/suffixes), '.', the digit
+                # separator, and a sign right after an exponent marker.
+                if c.isalnum() or c in "._'" or (c in "+-" and prev in "eEpP"):
+                    cur.append(c)
+                    prev = c
+                    i += 1
+                    continue
+                in_number = False
+            if c.isdigit() and not (prev.isalnum() or prev == "_"):
+                in_number = True
+                cur.append(c)
+                prev = c
+                i += 1
+                continue
             if c == "/" and nxt == "/":
                 state = "line_comment"
                 cur.append("  ")
@@ -143,25 +176,50 @@ def strip_comments_and_strings(text: str) -> list[str]:
                 i += 2
                 continue
             if c == '"':
+                # Raw string? The maximal identifier run ending here must be
+                # exactly an encoding prefix + R (so MACRO_R"..." is not one).
+                j = i
+                while j > 0 and (text[j - 1].isalnum() or text[j - 1] == "_"):
+                    j -= 1
+                if text[j:i] in _RAW_PREFIXES:
+                    paren = text.find("(", i + 1, i + 18)  # delimiter is <= 16 chars
+                    end = -1
+                    if paren != -1:
+                        close = ")" + text[i + 1 : paren] + '"'
+                        end = text.find(close, paren + 1)
+                    if end != -1:
+                        stop = end + len(close)
+                        cur.append(" ")  # the opening quote
+                        for k in range(i + 1, stop):
+                            cur.append("\n" if text[k] == "\n" else " ")
+                        prev = '"'
+                        i = stop
+                        continue
+                    # Malformed raw string: fall through as a plain string.
                 state = "string"
                 cur.append(" ")
+                prev = c
                 i += 1
                 continue
             if c == "'":
                 state = "char"
                 cur.append(" ")
+                prev = c
                 i += 1
                 continue
             cur.append(c)
+            prev = c
         elif state == "line_comment":
             if c == "\n":
                 state = "code"
+                prev = "\n"
                 cur.append("\n")
             else:
                 cur.append(" ")
         elif state == "block_comment":
             if c == "*" and nxt == "/":
                 state = "code"
+                prev = " "
                 cur.append("  ")
                 i += 2
                 continue
@@ -195,14 +253,31 @@ class Finding:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
 
-def allowed_rules(raw_lines: list[str], idx: int) -> set[str]:
-    """Rules suppressed on line `idx` (0-based): allow() on it or the line above."""
+def allowed_rules(raw_lines: list[str], code_lines: list[str], idx: int) -> set[str]:
+    """Rules suppressed on line `idx` (0-based).
+
+    An allow() counts when it sits on the line itself, the line above, or —
+    for a statement spanning multiple lines — trailing any later line of the
+    same statement (scan forward until a line whose code contains ;/{/},
+    capped so a pathological file cannot make this quadratic).
+    """
     rules: set[str] = set()
-    for j in (idx, idx - 1):
+
+    def collect(j: int) -> None:
         if 0 <= j < len(raw_lines):
             m = ALLOW_RE.search(raw_lines[j])
             if m:
                 rules.update(r.strip() for r in m.group(1).split(","))
+
+    collect(idx)
+    collect(idx - 1)
+    j = idx
+    while (
+        j < min(idx + 10, len(raw_lines) - 1)
+        and not STATEMENT_END_RE.search(code_lines[j])
+    ):
+        j += 1
+        collect(j)
     return rules
 
 
@@ -247,7 +322,7 @@ def lint_file(path: Path, rel: str, unordered_iter: list[tuple[re.Pattern, str]]
     in_hot_struct_scope = any(f"/{rel}".endswith(f"/{f}") for f in HOT_STRUCT_FILES)
 
     def add(idx: int, rule: str, message: str) -> None:
-        if rule in allowed_rules(raw_lines, idx):
+        if rule in allowed_rules(raw_lines, code_lines, idx):
             return
         findings.append(Finding(path, idx + 1, rule, message))
 

@@ -1,0 +1,21 @@
+"""mpranalyze -- build-aware static analysis for the simulator tree.
+
+Three passes over the repo + a Release build, sharing one findings
+framework (tools/mpranalyze/findings.py) and one declarative config
+(tools/mpr_analyze.conf):
+
+  layering   #include-graph checks against the declared module DAG:
+             cycles, layer inversions, unresolved includes, orphan
+             headers no translation unit reaches.
+  hotpath    nm/objdump audit of the emitted code of the declared
+             hot-path functions: no allocation, throw, wall-clock or
+             randomness calls may survive inlining into them.
+  reach      symbol-level call-graph reachability from the simulation
+             entry points to banned nondeterminism sources, with the
+             offending path in the finding.
+
+The driver is tools/mpr_analyze.py; exit-code contract matches
+mpr_lint.py (0 clean, 1 findings, 2 usage/environment error).
+"""
+
+__all__ = ["findings", "config", "layering", "objects", "hotpath", "reach"]

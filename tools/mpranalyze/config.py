@@ -1,0 +1,122 @@
+"""Declarative config for the analysis passes (tools/mpr_analyze.conf).
+
+A deliberately tiny sectioned format -- comments (#) and blank lines are
+ignored, `[section]` headers open a section, and every other line is a
+section entry. No external parser dependencies, so the file can carry
+the module DAG, the hot-path manifest and the banned-symbol sets in one
+reviewable place.
+
+Sections:
+
+  [layers]       `module: dep dep ...` -- the allowed-include DAG over
+                 the directories of src/. A module may always include
+                 itself; anything else must be listed.
+  [hotpath]      `object-glob :: symbol-regex` -- functions whose
+                 *emitted* code must stay free of allocation / throw /
+                 time / randomness calls. The glob matches the object
+                 path relative to the build dir; the regex matches the
+                 demangled symbol.
+  [entrypoints]  demangled-symbol regexes: where simulation execution
+                 starts for the reachability pass.
+  [banned-time], [banned-rand], [banned-alloc], [banned-throw]
+                 symbol regexes (matched against the mangled *and* the
+                 demangled name) for the banned call targets.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+class ConfigError(Exception):
+    pass
+
+
+@dataclass
+class HotpathEntry:
+    object_glob: str
+    symbol_re: re.Pattern
+    line: int
+
+
+@dataclass
+class AnalyzeConfig:
+    # module -> set of modules it may include (itself always implied)
+    layers: dict[str, set[str]] = field(default_factory=dict)
+    hotpath: list[HotpathEntry] = field(default_factory=list)
+    entrypoints: list[re.Pattern] = field(default_factory=list)
+    banned: dict[str, list[re.Pattern]] = field(default_factory=dict)
+
+    def layer_check(self) -> None:
+        """The declared DAG must reference only declared modules and be
+        acyclic -- a cyclic declaration would make the inversion check
+        vacuous."""
+        for mod, deps in self.layers.items():
+            for d in deps:
+                if d not in self.layers:
+                    raise ConfigError(f"[layers] {mod}: undeclared dependency '{d}'")
+        # Kahn's algorithm over the declared edges.
+        remaining = {m: set(d for d in deps if d != m) for m, deps in self.layers.items()}
+        while remaining:
+            roots = [m for m, deps in remaining.items() if not deps]
+            if not roots:
+                raise ConfigError(
+                    "[layers] declared module graph is cyclic: "
+                    + ", ".join(sorted(remaining))
+                )
+            for r in roots:
+                del remaining[r]
+            for deps in remaining.values():
+                deps.difference_update(roots)
+
+
+_BANNED_SECTIONS = ("banned-time", "banned-rand", "banned-alloc", "banned-throw")
+
+
+def _compile(pattern: str, where: str) -> re.Pattern:
+    try:
+        return re.compile(pattern)
+    except re.error as e:
+        raise ConfigError(f"{where}: bad regex '{pattern}': {e}") from e
+
+
+def load_config(path: Path) -> AnalyzeConfig:
+    cfg = AnalyzeConfig(banned={k: [] for k in _BANNED_SECTIONS})
+    section = None
+    for lineno, raw in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        where = f"{path}:{lineno}"
+        if line.startswith("[") and line.endswith("]"):
+            section = line[1:-1].strip()
+            known = ("layers", "hotpath", "entrypoints", *_BANNED_SECTIONS)
+            if section not in known:
+                raise ConfigError(f"{where}: unknown section [{section}]")
+            continue
+        if section is None:
+            raise ConfigError(f"{where}: entry before any [section] header")
+        if section == "layers":
+            if ":" not in line:
+                raise ConfigError(f"{where}: expected 'module: dep dep ...'")
+            mod, _, deps = line.partition(":")
+            mod = mod.strip()
+            if mod in cfg.layers:
+                raise ConfigError(f"{where}: module '{mod}' declared twice")
+            cfg.layers[mod] = set(deps.split())
+        elif section == "hotpath":
+            if "::" not in line:
+                raise ConfigError(f"{where}: expected 'object-glob :: symbol-regex'")
+            glob, _, sym = line.partition("::")
+            glob, sym = glob.strip(), sym.strip()
+            if not glob or not sym:
+                raise ConfigError(f"{where}: expected 'object-glob :: symbol-regex'")
+            cfg.hotpath.append(HotpathEntry(glob, _compile(sym, where), lineno))
+        elif section == "entrypoints":
+            cfg.entrypoints.append(_compile(line, where))
+        else:
+            cfg.banned[section].append(_compile(line, where))
+    cfg.layer_check()
+    return cfg

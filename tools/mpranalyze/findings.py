@@ -1,0 +1,171 @@
+"""Shared findings framework: rule-tagged findings, a checked-in
+suppression file, and human + JSON rendering.
+
+Every pass reports Finding objects. A finding carries a stable rule id
+(`<pass>.<check>`, e.g. `layering.cycle`, `hotpath.alloc`), a location
+string (file:line for source findings, `object:function` for symbol
+findings) and, where it helps, the path that proves the finding (an
+include cycle, a call chain to a banned symbol).
+
+Suppressions live in a checked-in file, one per line:
+
+    <rule> | <location-glob> | <justification>
+
+The justification is mandatory -- a suppression is a documented,
+deliberate exception, not a mute button. Suppressions whose rule's pass
+ran but which matched nothing are themselves reported
+(`meta.unused-suppression`) so the baseline cannot rot silently.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+# Maps a rule id to the pass that owns it, via prefix. Used to scope the
+# unused-suppression check to passes that actually ran.
+PASS_OF_RULE_PREFIX = {
+    "layering": "layering",
+    "hotpath": "hotpath",
+    "reach": "reach",
+}
+
+
+def pass_of_rule(rule: str) -> str | None:
+    return PASS_OF_RULE_PREFIX.get(rule.split(".", 1)[0])
+
+
+@dataclass
+class Finding:
+    rule: str
+    location: str
+    message: str
+    # Optional supporting chain: include cycle members, call path, etc.
+    path: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        out = f"{self.location}: [{self.rule}] {self.message}"
+        if self.path:
+            out += "".join(f"\n    {'-> ' if i else '   '}{p}" for i, p in enumerate(self.path))
+        return out
+
+    def to_json(self) -> dict:
+        d = {"rule": self.rule, "location": self.location, "message": self.message}
+        if self.path:
+            d["path"] = self.path
+        return d
+
+
+@dataclass
+class Suppression:
+    rule: str
+    location_glob: str
+    justification: str
+    line: int  # in the suppression file, for diagnostics
+    hits: int = 0
+
+    def matches(self, finding: Finding) -> bool:
+        return self.rule == finding.rule and fnmatch.fnmatchcase(
+            finding.location, self.location_glob
+        )
+
+
+class SuppressionError(Exception):
+    """Malformed suppression file (missing field, empty justification)."""
+
+
+def load_suppressions(path: Path) -> list[Suppression]:
+    """Parses the suppression file; '#' comments and blank lines ignored."""
+    sups: list[Suppression] = []
+    if not path.exists():
+        return sups
+    for lineno, raw in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = [p.strip() for p in line.split("|", 2)]
+        if len(parts) != 3 or not all(parts):
+            raise SuppressionError(
+                f"{path}:{lineno}: expected '<rule> | <location-glob> | <justification>'"
+                " with all three fields non-empty"
+            )
+        sups.append(Suppression(parts[0], parts[1], parts[2], lineno))
+    return sups
+
+
+@dataclass
+class Report:
+    """Accumulates findings across passes and applies suppressions."""
+
+    suppressions: list[Suppression] = field(default_factory=list)
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[tuple[Finding, Suppression]] = field(default_factory=list)
+    passes_run: list[str] = field(default_factory=list)
+
+    def add(self, finding: Finding) -> None:
+        for sup in self.suppressions:
+            if sup.matches(finding):
+                sup.hits += 1
+                self.suppressed.append((finding, sup))
+                return
+        self.findings.append(finding)
+
+    def extend(self, findings: list[Finding]) -> None:
+        for f in findings:
+            self.add(f)
+
+    def finish(self, suppression_file: Path | None) -> None:
+        """Flags suppressions that matched nothing in a pass that ran."""
+        for sup in self.suppressions:
+            if sup.hits:
+                continue
+            owner = pass_of_rule(sup.rule)
+            if owner is not None and owner not in self.passes_run:
+                continue  # its pass did not run; cannot judge it
+            where = f"{suppression_file}:{sup.line}" if suppression_file else f"line {sup.line}"
+            self.findings.append(
+                Finding(
+                    "meta.unused-suppression",
+                    where,
+                    f"suppression '{sup.rule} | {sup.location_glob}' matched no finding"
+                    " -- remove it or fix the glob",
+                )
+            )
+
+    def render_human(self) -> str:
+        lines = [f.render() for f in self.findings]
+        if self.suppressed:
+            lines.append(
+                f"({len(self.suppressed)} finding(s) suppressed by the baseline file)"
+            )
+        counts: dict[str, int] = {}
+        for f in self.findings:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        if self.findings:
+            by_rule = ", ".join(f"{r}: {n}" for r, n in sorted(counts.items()))
+            lines.append(f"mpr_analyze: {len(self.findings)} finding(s) ({by_rule})")
+        else:
+            lines.append(
+                f"mpr_analyze: clean ({', '.join(self.passes_run) or 'no passes run'})"
+            )
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        counts: dict[str, int] = {}
+        for f in self.findings:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        return {
+            "version": 1,
+            "passes": self.passes_run,
+            "findings": [f.to_json() for f in self.findings],
+            "suppressed": [
+                {**f.to_json(), "justification": s.justification} for f, s in self.suppressed
+            ],
+            "counts": counts,
+            "clean": not self.findings,
+        }
+
+    def write_json(self, path: Path) -> None:
+        path.write_text(json.dumps(self.to_json(), indent=2) + "\n", encoding="utf-8")

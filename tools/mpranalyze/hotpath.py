@@ -1,0 +1,100 @@
+"""Pass 2 -- hot-path symbol audit.
+
+For every function the [hotpath] manifest declares, the *emitted* code
+(every relocation inside its body, post-inlining) must not call:
+
+  hotpath.alloc   operator new/delete, malloc/calloc/realloc/free --
+                  an allocation per event/packet is the regression the
+                  PacketPool and the flat hot structures exist to
+                  prevent, and inlined container growth is exactly what
+                  the token lint cannot see
+  hotpath.throw   __cxa_throw / the std::__throw_* helpers -- a throw
+                  expression living inside hot code drags EH setup and
+                  cold paths into the working set
+  hotpath.time    libc/chrono wall-clock reads
+  hotpath.rand    non-seeded randomness (rand, std::random_device, ...)
+
+plus:
+
+  hotpath.missing a manifest entry that matched no defined symbol in
+                  any matching object. This guards the manifest itself:
+                  a renamed function would otherwise silently leave the
+                  audit.
+
+`.cold` fragments are exempt: the compiler proved them cold (exception
+cleanup, abort paths), which is precisely "off the hot path". `.part.N`
+outlined clones are ordinary reachable code and are audited with their
+parent's rules.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import re
+
+from .config import AnalyzeConfig
+from .findings import Finding
+from .objects import ObjectModel
+
+RULE_OF_SET = {
+    "banned-alloc": "hotpath.alloc",
+    "banned-throw": "hotpath.throw",
+    "banned-time": "hotpath.time",
+    "banned-rand": "hotpath.rand",
+}
+
+
+def banned_rule(cfg: AnalyzeConfig, model: ObjectModel, target: str) -> str | None:
+    """The hotpath rule `target` violates, or None. Patterns match the
+    mangled and the demangled spelling."""
+    pretty = model.pretty(target)
+    for section, rule in RULE_OF_SET.items():
+        for pat in cfg.banned[section]:
+            if pat.fullmatch(target) or pat.fullmatch(pretty):
+                return rule
+    return None
+
+
+_CLONE_SUFFIX_RE = re.compile(r"\.(cold|part\.\d+|constprop\.\d+|isra\.\d+)$")
+
+
+def is_cold_fragment(symbol: str) -> bool:
+    return symbol.endswith(".cold")
+
+
+def run_pass(cfg: AnalyzeConfig, model: ObjectModel) -> list[Finding]:
+    findings: list[Finding] = []
+    for entry in cfg.hotpath:
+        matched_any = False
+        for symbol, fi in sorted(model.functions.items()):
+            if is_cold_fragment(symbol):
+                continue
+            if not any(fnmatch.fnmatchcase(o, entry.object_glob) for o in fi.objects):
+                continue
+            pretty = model.pretty(symbol)
+            if not (entry.symbol_re.search(pretty) or entry.symbol_re.search(symbol)):
+                continue
+            matched_any = True
+            obj = sorted(fi.objects)[0]
+            for target in sorted(fi.calls):
+                rule = banned_rule(cfg, model, target)
+                if rule is not None:
+                    findings.append(
+                        Finding(
+                            rule,
+                            f"{obj}:{pretty}",
+                            f"emitted code calls banned symbol '{model.pretty(target)}'",
+                        )
+                    )
+        if not matched_any:
+            findings.append(
+                Finding(
+                    "hotpath.missing",
+                    f"manifest:{entry.line}",
+                    f"hot-path manifest entry '{entry.object_glob} :: "
+                    f"{entry.symbol_re.pattern}' matched no defined function"
+                    " -- was it renamed? fix the manifest so the audit"
+                    " keeps covering it",
+                )
+            )
+    return findings

@@ -1,0 +1,298 @@
+"""Pass 1 -- include-layering checks over the source tree.
+
+Builds the file-level `#include "..."` graph of src/ and enforces the
+module DAG declared in [layers]:
+
+  layering.unknown-module  a src/ file outside every declared module
+  layering.unresolved      a quoted include that resolves to no file in
+                           the tree (angle includes are system headers
+                           and are ignored)
+  layering.cycle           a strongly-connected component in the file
+                           include graph (one finding per cycle, with
+                           the cycle printed)
+  layering.inversion       an include edge whose target module is not in
+                           the includer module's declared dependency set
+  layering.orphan          a header under src/ that no translation unit
+                           (a .cpp under src/, tests/, tools/, bench/ or
+                           examples/) reaches through the include
+                           closure -- dead interface surface that the
+                           compiler never sees and the other passes can
+                           never audit
+
+Pure-source pass: needs no build tree, so it runs first and fast.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .config import AnalyzeConfig
+from .findings import Finding
+
+HEADER_SUFFIXES = {".h", ".hpp"}
+SOURCE_SUFFIXES = {".cc", ".cpp", ".cxx"}
+# Directories whose .cpp files count as translation-unit roots for the
+# orphan check. tests/tools/bench/examples may include anything in src/.
+TU_DIRS = ("src", "tests", "tools", "bench", "examples")
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+
+
+@dataclass
+class IncludeEdge:
+    includer: Path  # repo-relative
+    line: int
+    spec: str  # the quoted include text
+    target: Path | None  # repo-relative resolved path, None if unresolved
+
+
+@dataclass
+class IncludeGraph:
+    root: Path
+    src_files: list[Path] = field(default_factory=list)  # repo-relative, under src/
+    tu_files: list[Path] = field(default_factory=list)  # repo-relative .cpp roots
+    edges: dict[Path, list[IncludeEdge]] = field(default_factory=dict)
+
+
+def _strip_comments(text: str) -> list[str]:
+    """Blanks // and /* */ comments, preserving line structure, so an
+    #include inside a commented-out block is not an edge. String literals
+    are irrelevant here: an #include directive cannot start inside one."""
+    out: list[str] = []
+    in_block = False
+    for line in text.split("\n"):
+        if in_block:
+            end = line.find("*/")
+            if end < 0:
+                out.append("")
+                continue
+            line = " " * (end + 2) + line[end + 2 :]
+            in_block = False
+        # Strip any block comments opening (and possibly closing) here.
+        while True:
+            start = line.find("/*")
+            lc = line.find("//")
+            if 0 <= lc < (start if start >= 0 else len(line)):
+                line = line[:lc]
+                break
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block = True
+                break
+            line = line[:start] + " " * (end + 2 - start) + line[end + 2 :]
+        out.append(line)
+    return out
+
+
+def parse_includes(root: Path, rel: Path) -> list[tuple[int, str]]:
+    """Returns (line, spec) for every quoted include in `rel`."""
+    text = (root / rel).read_text(encoding="utf-8", errors="replace")
+    found: list[tuple[int, str]] = []
+    for lineno, line in enumerate(_strip_comments(text), 1):
+        m = INCLUDE_RE.match(line)
+        if m:
+            found.append((lineno, m.group(1)))
+    return found
+
+
+def resolve_include(root: Path, includer: Path, spec: str) -> Path | None:
+    """Quoted-include lookup mirroring the build: the includer's own
+    directory first, then the src/ include root (every target publishes
+    ${CMAKE_SOURCE_DIR}/src)."""
+    for base in (includer.parent, Path("src")):
+        cand = base / spec
+        if (root / cand).is_file():
+            return Path(*cand.parts)  # normalized
+    return None
+
+
+def build_graph(root: Path) -> IncludeGraph:
+    g = IncludeGraph(root=root)
+    src = root / "src"
+    for f in sorted(src.rglob("*")):
+        if f.suffix in HEADER_SUFFIXES | SOURCE_SUFFIXES:
+            g.src_files.append(f.relative_to(root))
+    for d in TU_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for f in sorted(base.rglob("*")):
+            if f.suffix in SOURCE_SUFFIXES:
+                g.tu_files.append(f.relative_to(root))
+    for rel in {*g.src_files, *g.tu_files}:
+        edges = []
+        for lineno, spec in parse_includes(root, rel):
+            edges.append(IncludeEdge(rel, lineno, spec, resolve_include(root, rel, spec)))
+        g.edges[rel] = edges
+    return g
+
+
+def module_of(rel: Path) -> str | None:
+    """src/<module>/... -> <module>; anything else has no module."""
+    parts = rel.parts
+    if len(parts) >= 3 and parts[0] == "src":
+        return parts[1]
+    return None
+
+
+def _cycles(graph: IncludeGraph) -> list[list[Path]]:
+    """Tarjan SCC over the src-file include graph; returns components of
+    size > 1 (plus direct self-includes), each rotated to start at its
+    lexicographically smallest member so findings are stable."""
+    adj: dict[Path, list[Path]] = {f: [] for f in graph.src_files}
+    for f in graph.src_files:
+        for e in graph.edges.get(f, []):
+            if e.target is not None and e.target in adj:
+                adj[f].append(e.target)
+
+    index: dict[Path, int] = {}
+    low: dict[Path, int] = {}
+    on_stack: set[Path] = set()
+    stack: list[Path] = []
+    sccs: list[list[Path]] = []
+    counter = [0]
+
+    def strongconnect(v: Path) -> None:
+        # Iterative Tarjan: (node, iterator-position) frames.
+        work = [(v, 0)]
+        while work:
+            node, pi = work.pop()
+            if pi == 0:
+                index[node] = low[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            recurse = False
+            succs = adj[node]
+            while pi < len(succs):
+                w = succs[pi]
+                pi += 1
+                if w not in index:
+                    work.append((node, pi))
+                    work.append((w, 0))
+                    recurse = True
+                    break
+                if w in on_stack:
+                    low[node] = min(low[node], index[w])
+            if recurse:
+                continue
+            if low[node] == index[node]:
+                comp = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.append(w)
+                    if w == node:
+                        break
+                if len(comp) > 1 or node in adj[node]:
+                    sccs.append(comp)
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+
+    for f in graph.src_files:
+        if f not in index:
+            strongconnect(f)
+
+    out = []
+    for comp in sccs:
+        comp = sorted(comp)
+        out.append(comp)
+    return sorted(out)
+
+
+def run_pass(root: Path, cfg: AnalyzeConfig) -> list[Finding]:
+    graph = build_graph(root)
+    findings: list[Finding] = []
+
+    # Module membership + unknown modules.
+    for f in graph.src_files:
+        mod = module_of(f)
+        if mod is None or mod not in cfg.layers:
+            findings.append(
+                Finding(
+                    "layering.unknown-module",
+                    str(f),
+                    f"file is outside every declared [layers] module"
+                    f" (module '{mod}' not declared)",
+                )
+            )
+
+    # Unresolved quoted includes (src files only; tests may include
+    # generated or test-local headers the repo model does not track).
+    for f in graph.src_files:
+        for e in graph.edges.get(f, []):
+            if e.target is None:
+                findings.append(
+                    Finding(
+                        "layering.unresolved",
+                        f"{e.includer}:{e.line}",
+                        f'#include "{e.spec}" resolves to no file in the tree',
+                    )
+                )
+
+    # Cycles.
+    for comp in _cycles(graph):
+        cycle = [str(p) for p in comp] + [str(comp[0])]
+        findings.append(
+            Finding(
+                "layering.cycle",
+                str(comp[0]),
+                f"include cycle of {len(comp)} file(s)",
+                path=cycle,
+            )
+        )
+
+    # Layer inversions.
+    for f in graph.src_files:
+        mod = module_of(f)
+        if mod is None or mod not in cfg.layers:
+            continue
+        allowed = cfg.layers[mod] | {mod}
+        for e in graph.edges.get(f, []):
+            if e.target is None:
+                continue
+            tmod = module_of(e.target)
+            if tmod is None or tmod not in cfg.layers:
+                continue
+            if tmod not in allowed:
+                findings.append(
+                    Finding(
+                        "layering.inversion",
+                        f"{e.includer}:{e.line}",
+                        f"module '{mod}' may not include '{tmod}'"
+                        f" (allowed: {', '.join(sorted(allowed))})"
+                        f" -- '{e.spec}'",
+                    )
+                )
+
+    # Orphan headers: closure from every TU.
+    reached: set[Path] = set()
+    work = list(graph.tu_files)
+    for f in work:
+        reached.add(f)
+    while work:
+        f = work.pop()
+        for e in graph.edges.get(f, []):
+            if e.target is not None and e.target not in reached:
+                reached.add(e.target)
+                # Targets outside src/ (test-local headers) have no edges
+                # recorded; .get below handles them.
+                work.append(e.target)
+    for f in graph.src_files:
+        if f.suffix in HEADER_SUFFIXES and f not in reached:
+            findings.append(
+                Finding(
+                    "layering.orphan",
+                    str(f),
+                    "header is reachable from no translation unit"
+                    " (dead interface surface -- delete it or include it)",
+                )
+            )
+
+    return findings

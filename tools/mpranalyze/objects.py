@@ -1,0 +1,236 @@
+"""Object-file model shared by the hotpath and reach passes.
+
+Parses `nm`/`objdump` output for the objects named by a Release build's
+compile_commands.json into a symbol-level call graph:
+
+  function symbol -> set of relocation targets inside its body
+
+A relocation inside a function's disassembly is the ground truth the
+token lint cannot see: it survives inlining, template instantiation and
+LTO-free comdat folding, and it names the *emitted* callee. Targets are
+kept mangled; demangling is batched through c++filt for matching and
+display. Section-relative targets (`.text.unlikely+0x40`, local cold
+fragments) are resolved through the object's symbol table so calls into
+split-out `.cold`/`.part` clones stay edges. Calls the assembler
+already resolved -- a callee defined in the *same section* of the same
+TU carries no relocation at all -- are recovered from objdump's
+`call <symbol>` annotations instead, so intra-TU helper chains stay
+visible to the reach pass.
+
+Known blind spot (documented in README): indirect calls -- virtual
+dispatch and function pointers -- carry no relocation at the call site.
+Taking a function's address *is* visible, and the reach pass also
+reports direct banned calls in functions it cannot reach from an entry
+point, so a banned call cannot hide behind a pointer; only the narrated
+path can understate how it is reached.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import shlex
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+class ToolError(Exception):
+    """Environment problem (missing tool, missing build artifacts)."""
+
+
+@dataclass
+class FunctionInfo:
+    symbol: str  # mangled, possibly with .cold/.part.N suffix
+    objects: set[str] = field(default_factory=set)  # build-relative object paths
+    calls: set[str] = field(default_factory=set)  # mangled relocation targets
+
+
+@dataclass
+class ObjectModel:
+    # Merged across objects: comdat (template/inline) functions appear in
+    # several objects; their call sets are unioned.
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    demangled: dict[str, str] = field(default_factory=dict)
+
+    def function(self, symbol: str) -> FunctionInfo:
+        fi = self.functions.get(symbol)
+        if fi is None:
+            fi = self.functions[symbol] = FunctionInfo(symbol)
+        return fi
+
+    def pretty(self, symbol: str) -> str:
+        return self.demangled.get(symbol, symbol)
+
+
+def find_objects(build_dir: Path, root: Path, under: str = "src") -> list[tuple[Path, Path]]:
+    """(source, object) pairs from compile_commands.json for sources under
+    `root/under`. Object paths are returned build-relative when possible so
+    manifest globs stay machine-independent."""
+    cc_path = build_dir / "compile_commands.json"
+    if not cc_path.exists():
+        raise ToolError(
+            f"{cc_path} not found -- configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON"
+            " (the default for this tree)"
+        )
+    entries = json.loads(cc_path.read_text(encoding="utf-8"))
+    scope = (root / under).resolve()
+    pairs: list[tuple[Path, Path]] = []
+    for e in entries:
+        src = Path(e["file"])
+        if not src.is_absolute():
+            src = Path(e["directory"]) / src
+        try:
+            src.resolve().relative_to(scope)
+        except ValueError:
+            continue
+        out = e.get("output")
+        if out is None:
+            argv = shlex.split(e["command"]) if "command" in e else list(e.get("arguments", []))
+            out = None
+            for i, a in enumerate(argv):
+                if a == "-o" and i + 1 < len(argv):
+                    out = argv[i + 1]
+        if out is None:
+            continue
+        obj = Path(out)
+        if not obj.is_absolute():
+            obj = Path(e["directory"]) / obj
+        pairs.append((src, obj))
+    if not pairs:
+        raise ToolError(f"compile_commands.json names no sources under {scope}")
+    missing = [str(o) for _, o in pairs if not o.exists()]
+    if missing:
+        raise ToolError(
+            f"{len(missing)} object file(s) missing (build the tree first), e.g. {missing[0]}"
+        )
+    return pairs
+
+
+def _run(argv: list[str]) -> str:
+    try:
+        proc = subprocess.run(argv, capture_output=True, text=True, check=True)
+    except FileNotFoundError as e:
+        raise ToolError(f"required tool not found: {argv[0]}") from e
+    except subprocess.CalledProcessError as e:
+        raise ToolError(f"{' '.join(argv[:2])} failed: {e.stderr.strip()[:200]}") from e
+    return proc.stdout
+
+
+# objdump -t: "0000000000000040 l     F .text.unlikely  0000000000000050 name"
+SYMTAB_RE = re.compile(
+    r"^([0-9a-f]+)\s+(\S+)\s+(?:\S+\s+)?F\s+(\S+)\s+([0-9a-f]+)\s+(\S+)$"
+)
+FUNC_HEADER_RE = re.compile(r"^[0-9a-f]+ <(.+)>:$")
+RELOC_RE = re.compile(r"^\s+[0-9a-f]+:\s+R_\S+\s+(.+?)\s*$")
+TARGET_OFFSET_RE = re.compile(r"^(.*?)([+-]0x[0-9a-f]+)?$")
+# Assembler-resolved direct call/tail-jump: `call 30 <_ZN3fix6helperEv>`.
+# Conditional branches are always intra-function and deliberately skipped.
+CALL_TARGET_RE = re.compile(
+    r"^\s+[0-9a-f]+:\s+(?:call|jmp)q?\s+(?:0x)?[0-9a-f]+\s+<([^>]+)>\s*$"
+)
+
+
+def _parse_symtab(obj: Path) -> dict[str, list[tuple[int, str]]]:
+    """section -> sorted [(addr, symbol)] of defined function symbols."""
+    sections: dict[str, list[tuple[int, str]]] = {}
+    for line in _run(["objdump", "-t", str(obj)]).splitlines():
+        m = SYMTAB_RE.match(line)
+        if m:
+            addr, _flags, section, _size, name = m.groups()
+            sections.setdefault(section, []).append((int(addr, 16), name))
+    for syms in sections.values():
+        syms.sort()
+    return sections
+
+
+def _resolve_section_target(
+    sections: dict[str, list[tuple[int, str]]], section: str, offset: int
+) -> str | None:
+    """Maps `.text.unlikely+0x40` to the covering function symbol."""
+    syms = sections.get(section)
+    if not syms:
+        return None
+    best = None
+    for addr, name in syms:
+        if addr <= offset:
+            best = name
+        else:
+            break
+    return best
+
+
+def parse_object(obj: Path, model: ObjectModel, obj_label: str) -> None:
+    """Adds `obj`'s functions and their relocation targets to `model`."""
+    sections = _parse_symtab(obj)
+    disasm = _run(["objdump", "-dr", "--no-show-raw-insn", str(obj)])
+    lines = disasm.splitlines()
+    current: FunctionInfo | None = None
+    for i, line in enumerate(lines):
+        m = FUNC_HEADER_RE.match(line)
+        if m:
+            current = model.function(m.group(1))
+            current.objects.add(obj_label)
+            continue
+        if current is None:
+            continue
+        m = RELOC_RE.match(line)
+        if m:
+            tm = TARGET_OFFSET_RE.match(m.group(1))
+            target, off = tm.group(1), tm.group(2)
+            if not target:
+                continue
+            if target.startswith("."):
+                # Section-relative: calls into local symbols (cold
+                # fragments, static functions) land here. Only text
+                # sections hold code.
+                if target.startswith(".text"):
+                    resolved = _resolve_section_target(
+                        sections, target, int(off, 16) if off else 0
+                    )
+                    if resolved is not None:
+                        current.calls.add(resolved)
+                continue
+            current.calls.add(target)
+            continue
+        m = CALL_TARGET_RE.match(line)
+        if m:
+            # Trust the annotation only when no relocation overrides it on
+            # the next line -- an unresolved call's placeholder address is
+            # annotated with whatever symbol happens to cover it.
+            if i + 1 < len(lines) and RELOC_RE.match(lines[i + 1]):
+                continue
+            target = TARGET_OFFSET_RE.match(m.group(1)).group(1)
+            if target and target != current.symbol and not target.startswith("."):
+                current.calls.add(target)
+
+
+def demangle_all(model: ObjectModel) -> None:
+    names: set[str] = set()
+    for fi in model.functions.values():
+        names.add(fi.symbol)
+        names.update(fi.calls)
+    ordered = sorted(names)
+    if not ordered:
+        return
+    proc = subprocess.run(
+        ["c++filt"], input="\n".join(ordered) + "\n", capture_output=True, text=True
+    )
+    if proc.returncode != 0:
+        raise ToolError(f"c++filt failed: {proc.stderr.strip()[:200]}")
+    lines = proc.stdout.splitlines()
+    if len(lines) != len(ordered):
+        raise ToolError("c++filt output line count mismatch")
+    model.demangled = dict(zip(ordered, lines))
+
+
+def build_model(build_dir: Path, root: Path) -> ObjectModel:
+    model = ObjectModel()
+    for _src, obj in find_objects(build_dir, root):
+        try:
+            label = str(obj.relative_to(build_dir))
+        except ValueError:
+            label = str(obj)
+        parse_object(obj, model, label)
+    demangle_all(model)
+    return model

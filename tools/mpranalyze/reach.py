@@ -1,0 +1,123 @@
+"""Pass 3 -- determinism reachability.
+
+BFS over the symbol-level call graph of every src/ object, from the
+declared simulation entry points ([entrypoints]) to the banned
+nondeterminism sources ([banned-time] + [banned-rand]). A hit proves a
+wall-clock or randomness call is linked into simulation execution --
+through any depth of inlining and helper layers -- and the finding
+prints the call path, which is the part a human needs to fix it.
+
+  reach.wallclock  path from an entry point to a time source
+  reach.rand       path from an entry point to a randomness source
+  reach.direct     a src-defined function whose body calls a banned
+                   source but which no entry point reaches. Indirect
+                   dispatch (virtual calls, stored callbacks) is
+                   invisible to relocation scanning, so an unreachable
+                   direct caller is still reported -- the blind spot
+                   hides paths, never the banned call itself.
+  reach.no-entry   an [entrypoints] regex that matched no defined
+                   function (manifest rot guard, like hotpath.missing).
+
+`.cold` fragments are *included* here (unlike the hotpath pass):
+nondeterminism is banned even on error paths -- a timestamp in a
+quarantine record would still diverge runs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .config import AnalyzeConfig
+from .findings import Finding
+from .objects import ObjectModel
+
+
+def _banned_kind(cfg: AnalyzeConfig, model: ObjectModel, target: str) -> str | None:
+    pretty = model.pretty(target)
+    for section, kind in (("banned-time", "wallclock"), ("banned-rand", "rand")):
+        for pat in cfg.banned[section]:
+            if pat.fullmatch(target) or pat.fullmatch(pretty):
+                return kind
+    return None
+
+
+def run_pass(cfg: AnalyzeConfig, model: ObjectModel) -> list[Finding]:
+    findings: list[Finding] = []
+
+    entries: list[str] = []
+    for pat in cfg.entrypoints:
+        hits = [
+            s
+            for s, _fi in model.functions.items()
+            if pat.search(model.pretty(s)) or pat.search(s)
+        ]
+        if not hits:
+            findings.append(
+                Finding(
+                    "reach.no-entry",
+                    f"entrypoints:{pat.pattern}",
+                    "entry-point regex matched no defined function"
+                    " -- was the entry point renamed?",
+                )
+            )
+        entries.extend(hits)
+
+    # BFS with parent pointers; first (shortest) path per banned target wins.
+    parent: dict[str, str | None] = {}
+    order = deque()
+    for e in sorted(set(entries)):
+        if e not in parent:
+            parent[e] = None
+            order.append(e)
+    reached_banned: dict[tuple[str, str], list[str]] = {}
+    while order:
+        cur = order.popleft()
+        fi = model.functions.get(cur)
+        if fi is None:
+            continue
+        for target in sorted(fi.calls):
+            kind = _banned_kind(cfg, model, target)
+            if kind is not None:
+                key = (kind, target)
+                if key not in reached_banned:
+                    path = [target]
+                    node: str | None = cur
+                    while node is not None:
+                        path.append(node)
+                        node = parent[node]
+                    reached_banned[key] = [model.pretty(p) for p in reversed(path)]
+            if target in model.functions and target not in parent:
+                parent[target] = cur
+                order.append(target)
+
+    for (kind, target), path in sorted(reached_banned.items()):
+        findings.append(
+            Finding(
+                f"reach.{kind}",
+                model.pretty(target),
+                f"banned {'time source' if kind == 'wallclock' else 'randomness source'}"
+                f" '{model.pretty(target)}' is reachable from simulation entry"
+                f" point '{path[0]}'",
+                path=path,
+            )
+        )
+
+    # Direct banned calls outside the reached set: the indirect-dispatch
+    # safety net. Reported per (function, target).
+    for symbol, fi in sorted(model.functions.items()):
+        if symbol in parent:
+            continue  # already covered by the BFS above
+        for target in sorted(fi.calls):
+            kind = _banned_kind(cfg, model, target)
+            if kind is not None:
+                obj = sorted(fi.objects)[0]
+                findings.append(
+                    Finding(
+                        "reach.direct",
+                        f"{obj}:{model.pretty(symbol)}",
+                        f"calls banned symbol '{model.pretty(target)}' (not reached"
+                        " from any declared entry point, but may run via stored"
+                        " callbacks or virtual dispatch)",
+                    )
+                )
+    return findings

@@ -1,0 +1,721 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/mpr_analyze.py and the mpranalyze package.
+
+Three kinds of coverage:
+
+  * fixture source trees in a tempdir for the layering pass (seeded
+    include cycle, layer inversion, orphan header, unresolved include),
+  * hand-built ObjectModel instances for the hotpath and reach passes
+    (fast, no compiler), and
+  * one *compiled* fixture: a real .cpp built at -O2 whose hot function
+    contains a seeded `new` and whose entry point reaches `time()`, run
+    through the full objdump/c++filt pipeline and the CLI, proving the
+    audit catches the violations in emitted code, not just in a mock.
+
+Run directly (`python3 tools/test_mpr_analyze.py`) or via
+`ctest -L lint`.
+"""
+
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from mpranalyze import hotpath, layering, reach  # noqa: E402
+from mpranalyze.config import ConfigError, load_config  # noqa: E402
+from mpranalyze.findings import (  # noqa: E402
+    Finding,
+    Report,
+    SuppressionError,
+    load_suppressions,
+)
+from mpranalyze.objects import ObjectModel, build_model  # noqa: E402
+
+TOOLS_DIR = Path(__file__).resolve().parent
+ANALYZE = TOOLS_DIR / "mpr_analyze.py"
+
+
+def write_tree(root: Path, files: dict) -> None:
+    for rel, text in files.items():
+        p = root / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(text, encoding="utf-8")
+
+
+def make_config(tmp: Path, text: str):
+    conf = tmp / "analyze.conf"
+    conf.write_text(text, encoding="utf-8")
+    return load_config(conf)
+
+
+def rules(findings) -> list:
+    return sorted(f.rule for f in findings)
+
+
+def by_rule(findings, rule: str) -> list:
+    return [f for f in findings if f.rule == rule]
+
+
+LAYERS_AB = """
+[layers]
+a:
+b: a
+"""
+
+
+class ConfigTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = Path(tempfile.mkdtemp(prefix="mpran_cfg_"))
+        self.addCleanup(shutil.rmtree, self.tmp, ignore_errors=True)
+
+    def test_full_config_parses(self):
+        cfg = make_config(
+            self.tmp,
+            """
+            # comment
+            [layers]
+            a:
+            b: a
+
+            [hotpath]
+            */x.dir/*.o :: ^ns::Engine::step\\(
+
+            [entrypoints]
+            ^ns::run\\(
+
+            [banned-time]
+            time
+            [banned-alloc]
+            operator new.*
+            """,
+        )
+        self.assertEqual(cfg.layers, {"a": set(), "b": {"a"}})
+        self.assertEqual(len(cfg.hotpath), 1)
+        self.assertEqual(cfg.hotpath[0].object_glob, "*/x.dir/*.o")
+        self.assertTrue(cfg.hotpath[0].symbol_re.search("ns::Engine::step()"))
+        self.assertEqual(len(cfg.entrypoints), 1)
+        self.assertTrue(cfg.banned["banned-time"][0].fullmatch("time"))
+        self.assertTrue(
+            cfg.banned["banned-alloc"][0].fullmatch("operator new(unsigned long)")
+        )
+
+    def test_cyclic_layer_graph_rejected(self):
+        with self.assertRaisesRegex(ConfigError, "cyclic"):
+            make_config(self.tmp, "[layers]\na: b\nb: a\n")
+
+    def test_undeclared_dependency_rejected(self):
+        with self.assertRaisesRegex(ConfigError, "undeclared dependency"):
+            make_config(self.tmp, "[layers]\na: ghost\n")
+
+    def test_duplicate_module_rejected(self):
+        with self.assertRaisesRegex(ConfigError, "declared twice"):
+            make_config(self.tmp, "[layers]\na:\na:\n")
+
+    def test_bad_regex_rejected(self):
+        with self.assertRaisesRegex(ConfigError, "bad regex"):
+            make_config(self.tmp, "[entrypoints]\n(unclosed\n")
+
+    def test_unknown_section_rejected(self):
+        with self.assertRaisesRegex(ConfigError, "unknown section"):
+            make_config(self.tmp, "[wat]\n")
+
+    def test_entry_before_section_rejected(self):
+        with self.assertRaisesRegex(ConfigError, "before any"):
+            make_config(self.tmp, "a: b\n")
+
+    def test_hotpath_entry_needs_both_halves(self):
+        with self.assertRaisesRegex(ConfigError, "object-glob :: symbol-regex"):
+            make_config(self.tmp, "[hotpath]\njust-a-glob\n")
+
+
+class SuppressionTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = Path(tempfile.mkdtemp(prefix="mpran_sup_"))
+        self.addCleanup(shutil.rmtree, self.tmp, ignore_errors=True)
+
+    def load(self, text: str):
+        p = self.tmp / "sup.txt"
+        p.write_text(text, encoding="utf-8")
+        return p, load_suppressions(p)
+
+    def test_parse_skips_comments_and_blanks(self):
+        _, sups = self.load(
+            "# header\n\nlayering.cycle | src/a/* | legacy tangle, issue #42\n"
+        )
+        self.assertEqual(len(sups), 1)
+        self.assertEqual(sups[0].rule, "layering.cycle")
+        self.assertEqual(sups[0].location_glob, "src/a/*")
+
+    def test_missing_justification_rejected(self):
+        with self.assertRaises(SuppressionError):
+            self.load("layering.cycle | src/a/*\n")
+
+    def test_empty_field_rejected(self):
+        with self.assertRaises(SuppressionError):
+            self.load("layering.cycle | src/a/* |  \n")
+
+    def test_matching_finding_is_suppressed(self):
+        path, sups = self.load("hotpath.alloc | */link.cpp.o:* | measured, cold\n")
+        rep = Report(suppressions=sups)
+        rep.add(Finding("hotpath.alloc", "x/link.cpp.o:mpr::net::Link::send()", "m"))
+        rep.passes_run.append("hotpath")
+        rep.finish(path)
+        self.assertEqual(rep.findings, [])
+        self.assertEqual(len(rep.suppressed), 1)
+
+    def test_unused_suppression_flagged_when_pass_ran(self):
+        path, sups = self.load("hotpath.alloc | */gone.cpp.o:* | stale\n")
+        rep = Report(suppressions=sups)
+        rep.passes_run.append("hotpath")
+        rep.finish(path)
+        self.assertEqual(rules(rep.findings), ["meta.unused-suppression"])
+
+    def test_unused_suppression_ignored_when_pass_skipped(self):
+        path, sups = self.load("hotpath.alloc | */gone.cpp.o:* | stale\n")
+        rep = Report(suppressions=sups)
+        rep.passes_run.append("layering")  # hotpath did not run
+        rep.finish(path)
+        self.assertEqual(rep.findings, [])
+
+
+class LayeringTest(unittest.TestCase):
+    """Fixture source trees in a tempdir, pure pass-1 checks."""
+
+    def setUp(self):
+        self.tmp = Path(tempfile.mkdtemp(prefix="mpran_lay_"))
+        self.addCleanup(shutil.rmtree, self.tmp, ignore_errors=True)
+        self.cfg = make_config(self.tmp, LAYERS_AB)
+
+    def run_pass(self):
+        return layering.run_pass(self.tmp, self.cfg)
+
+    def test_clean_tree(self):
+        write_tree(
+            self.tmp,
+            {
+                "src/a/x.h": "#pragma once\n",
+                "src/a/x.cpp": '#include "a/x.h"\n',
+                "src/b/y.cpp": '#include "a/x.h"\n',
+            },
+        )
+        self.assertEqual(self.run_pass(), [])
+
+    def test_seeded_include_cycle(self):
+        write_tree(
+            self.tmp,
+            {
+                "src/a/p.h": '#include "a/q.h"\n',
+                "src/a/q.h": '#include "a/p.h"\n',
+                "src/a/use.cpp": '#include "a/p.h"\n',
+            },
+        )
+        found = by_rule(self.run_pass(), "layering.cycle")
+        self.assertEqual(len(found), 1)
+        # Path prints the full cycle, closed back to its first member.
+        self.assertEqual(
+            found[0].path, ["src/a/p.h", "src/a/q.h", "src/a/p.h"]
+        )
+
+    def test_self_include_is_a_cycle(self):
+        write_tree(
+            self.tmp,
+            {
+                "src/a/p.h": '#include "a/p.h"\n',
+                "src/a/use.cpp": '#include "a/p.h"\n',
+            },
+        )
+        self.assertEqual(rules(self.run_pass()), ["layering.cycle"])
+
+    def test_layer_inversion(self):
+        # a may not include b (only b: a is declared).
+        write_tree(
+            self.tmp,
+            {
+                "src/a/x.cpp": '#include "b/y.h"\n',
+                "src/b/y.h": "#pragma once\n",
+                "src/b/use.cpp": '#include "b/y.h"\n',
+            },
+        )
+        found = by_rule(self.run_pass(), "layering.inversion")
+        self.assertEqual(len(found), 1)
+        self.assertEqual(found[0].location, "src/a/x.cpp:1")
+        self.assertIn("may not include 'b'", found[0].message)
+
+    def test_orphan_header(self):
+        write_tree(
+            self.tmp,
+            {
+                "src/a/live.h": "#pragma once\n",
+                "src/a/dead.h": "#pragma once\n",
+                "src/a/use.cpp": '#include "a/live.h"\n',
+            },
+        )
+        found = by_rule(self.run_pass(), "layering.orphan")
+        self.assertEqual([f.location for f in found], ["src/a/dead.h"])
+
+    def test_header_reached_only_from_tests_is_not_orphan(self):
+        write_tree(
+            self.tmp,
+            {
+                "src/a/x.h": "#pragma once\n",
+                "tests/t.cpp": '#include "a/x.h"\n',
+            },
+        )
+        self.assertEqual(by_rule(self.run_pass(), "layering.orphan"), [])
+
+    def test_unresolved_include(self):
+        write_tree(self.tmp, {"src/a/x.cpp": '#include "a/missing.h"\n'})
+        found = by_rule(self.run_pass(), "layering.unresolved")
+        self.assertEqual(len(found), 1)
+        self.assertEqual(found[0].location, "src/a/x.cpp:1")
+
+    def test_includer_relative_resolution(self):
+        # Quoted includes try the includer's own directory first.
+        write_tree(
+            self.tmp,
+            {
+                "src/a/x.h": "#pragma once\n",
+                "src/a/x.cpp": '#include "x.h"\n',
+            },
+        )
+        self.assertEqual(self.run_pass(), [])
+
+    def test_commented_out_include_is_not_an_edge(self):
+        write_tree(
+            self.tmp,
+            {
+                "src/a/x.cpp": '// #include "a/gone.h"\n'
+                '/* #include "a/gone2.h" */\n'
+                "/*\n"
+                '#include "a/gone3.h"\n'
+                "*/\n",
+            },
+        )
+        self.assertEqual(by_rule(self.run_pass(), "layering.unresolved"), [])
+
+    def test_unknown_module(self):
+        write_tree(
+            self.tmp,
+            {
+                "src/zzz/f.cpp": "\n",
+                "src/loose.cpp": "\n",
+            },
+        )
+        found = by_rule(self.run_pass(), "layering.unknown-module")
+        self.assertEqual(
+            sorted(f.location for f in found), ["src/loose.cpp", "src/zzz/f.cpp"]
+        )
+
+
+def add_fn(model, symbol, pretty, objects=(), calls=()):
+    fi = model.function(symbol)
+    fi.objects.update(objects)
+    fi.calls.update(calls)
+    model.demangled[symbol] = pretty
+
+
+BANNED_SECTIONS = """
+[banned-time]
+time
+clock_gettime
+std::chrono::(system|steady|high_resolution)_clock::now\\(\\)
+[banned-rand]
+rand
+std::random_device::.*
+[banned-alloc]
+operator new.*
+operator delete.*
+malloc
+free
+[banned-throw]
+__cxa_throw
+std::__throw_(?!bad_function_call).*
+"""
+
+OBJ = "src/x/CMakeFiles/x.dir/engine.cpp.o"
+
+
+class HotpathTest(unittest.TestCase):
+    """Hand-built ObjectModel instances; no compiler involved."""
+
+    def setUp(self):
+        self.tmp = Path(tempfile.mkdtemp(prefix="mpran_hot_"))
+        self.addCleanup(shutil.rmtree, self.tmp, ignore_errors=True)
+
+    def cfg(self, manifest: str):
+        return make_config(
+            self.tmp, f"[hotpath]\n{manifest}\n{BANNED_SECTIONS}"
+        )
+
+    def test_seeded_operator_new_is_flagged(self):
+        model = ObjectModel()
+        add_fn(model, "_ZN2ns6Engine4stepEv", "ns::Engine::step()", [OBJ], ["_Znwm"])
+        model.demangled["_Znwm"] = "operator new(unsigned long)"
+        cfg = self.cfg("*/x.dir/engine.cpp.o :: ^ns::Engine::step\\(")
+        found = hotpath.run_pass(cfg, model)
+        self.assertEqual(rules(found), ["hotpath.alloc"])
+        self.assertIn("operator new", found[0].message)
+        self.assertEqual(found[0].location, f"{OBJ}:ns::Engine::step()")
+
+    def test_throw_flagged_but_bad_function_call_helper_exempt(self):
+        model = ObjectModel()
+        add_fn(
+            model,
+            "_ZN2ns6Engine4stepEv",
+            "ns::Engine::step()",
+            [OBJ],
+            ["__cxa_throw", "_ZSt25__throw_bad_function_callv"],
+        )
+        model.demangled["_ZSt25__throw_bad_function_callv"] = (
+            "std::__throw_bad_function_call()"
+        )
+        cfg = self.cfg("*/x.dir/engine.cpp.o :: ^ns::Engine::step\\(")
+        found = hotpath.run_pass(cfg, model)
+        # __cxa_throw is a finding; the std::function helper is not.
+        self.assertEqual(rules(found), ["hotpath.throw"])
+        self.assertIn("__cxa_throw", found[0].message)
+
+    def test_cold_fragment_is_exempt(self):
+        model = ObjectModel()
+        add_fn(model, "_ZN2ns6Engine4stepEv", "ns::Engine::step()", [OBJ], [])
+        add_fn(
+            model,
+            "_ZN2ns6Engine4stepEv.cold",
+            "ns::Engine::step() [clone .cold]",
+            [OBJ],
+            ["_Znwm"],
+        )
+        cfg = self.cfg("*/x.dir/engine.cpp.o :: ^ns::Engine::step\\(")
+        self.assertEqual(hotpath.run_pass(cfg, model), [])
+
+    def test_anchored_regex_skips_cold_allocator_template(self):
+        # The manifest anchors with ^ so FlatVec<ns::Engine::Rec>::grow --
+        # the declared cold allocator, which legitimately calls operator
+        # new -- does not match a search for ns::Engine::*.
+        model = ObjectModel()
+        add_fn(model, "_ZN2ns6Engine4stepEv", "ns::Engine::step()", [OBJ], [])
+        add_fn(
+            model,
+            "_ZN7FlatVecIN2ns6Engine3RecEE4growEm",
+            "FlatVec<ns::Engine::Rec>::grow(unsigned long)",
+            [OBJ],
+            ["_Znwm"],
+        )
+        cfg = self.cfg("*/x.dir/engine.cpp.o :: ^ns::Engine::")
+        self.assertEqual(hotpath.run_pass(cfg, model), [])
+
+    def test_manifest_entry_matching_nothing_reports_missing(self):
+        model = ObjectModel()
+        add_fn(model, "_ZN2ns6Engine4stepEv", "ns::Engine::step()", [OBJ], [])
+        cfg = self.cfg("*/x.dir/engine.cpp.o :: ^ns::Engine::renamed\\(")
+        found = hotpath.run_pass(cfg, model)
+        self.assertEqual(rules(found), ["hotpath.missing"])
+
+    def test_object_glob_scopes_the_match(self):
+        # Same symbol in a different object is out of scope for the entry.
+        model = ObjectModel()
+        add_fn(
+            model,
+            "_ZN2ns6Engine4stepEv",
+            "ns::Engine::step()",
+            ["src/y/CMakeFiles/y.dir/other.cpp.o"],
+            ["_Znwm"],
+        )
+        cfg = self.cfg("*/x.dir/*.o :: ^ns::Engine::step\\(")
+        self.assertEqual(rules(hotpath.run_pass(cfg, model)), ["hotpath.missing"])
+
+
+class ReachTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = Path(tempfile.mkdtemp(prefix="mpran_reach_"))
+        self.addCleanup(shutil.rmtree, self.tmp, ignore_errors=True)
+
+    def cfg(self, entrypoints: str):
+        return make_config(
+            self.tmp, f"[entrypoints]\n{entrypoints}\n{BANNED_SECTIONS}"
+        )
+
+    def test_seeded_wallclock_path_with_chain(self):
+        model = ObjectModel()
+        add_fn(model, "_Zrun", "ns::run()", [OBJ], ["_Zhelp"])
+        add_fn(model, "_Zhelp", "ns::helper()", [OBJ], ["clock_gettime"])
+        cfg = self.cfg("^ns::run\\(")
+        found = reach.run_pass(cfg, model)
+        self.assertEqual(rules(found), ["reach.wallclock"])
+        self.assertEqual(
+            found[0].path, ["ns::run()", "ns::helper()", "clock_gettime"]
+        )
+
+    def test_rand_source_flagged(self):
+        model = ObjectModel()
+        add_fn(model, "_Zrun", "ns::run()", [OBJ], ["rand"])
+        found = reach.run_pass(self.cfg("^ns::run\\("), model)
+        self.assertEqual(rules(found), ["reach.rand"])
+
+    def test_one_finding_per_banned_target(self):
+        # Two routes to the same banned symbol collapse to one finding.
+        model = ObjectModel()
+        add_fn(model, "_Zrun", "ns::run()", [OBJ], ["_Za", "_Zb"])
+        add_fn(model, "_Za", "ns::a()", [OBJ], ["time"])
+        add_fn(model, "_Zb", "ns::b()", [OBJ], ["time"])
+        found = reach.run_pass(self.cfg("^ns::run\\("), model)
+        self.assertEqual(rules(found), ["reach.wallclock"])
+
+    def test_cold_fragment_is_included(self):
+        # Unlike the hotpath pass, .cold fragments are audited: a
+        # timestamp on an error path still diverges runs.
+        model = ObjectModel()
+        add_fn(model, "_Zrun", "ns::run()", [OBJ], ["_Zrun.cold"])
+        add_fn(model, "_Zrun.cold", "ns::run() [clone .cold]", [OBJ], ["time"])
+        found = reach.run_pass(self.cfg("^ns::run\\("), model)
+        self.assertEqual(rules(found), ["reach.wallclock"])
+
+    def test_unreached_direct_caller_reported(self):
+        model = ObjectModel()
+        add_fn(model, "_Zrun", "ns::run()", [OBJ], [])
+        add_fn(model, "_Zlost", "ns::lost()", [OBJ], ["time"])
+        found = reach.run_pass(self.cfg("^ns::run\\("), model)
+        self.assertEqual(rules(found), ["reach.direct"])
+        self.assertIn("ns::lost()", found[0].location)
+
+    def test_entrypoint_matching_nothing_reports_no_entry(self):
+        model = ObjectModel()
+        add_fn(model, "_Zrun", "ns::run()", [OBJ], [])
+        found = reach.run_pass(self.cfg("^ns::gone\\("), model)
+        self.assertEqual(rules(found), ["reach.no-entry"])
+
+
+FIXTURE_CPP = """\
+#include <ctime>
+
+namespace fix {
+
+struct Engine {
+  int* buf = nullptr;
+  void hot_step();
+};
+
+// Seeded violation: an allocation in a manifest-declared hot function.
+void Engine::hot_step() { buf = new int[16]; }
+
+__attribute__((noinline)) long helper() { return ::time(nullptr); }
+
+// Seeded violation: the entry point reaches a wall-clock read.
+long run_sim() { return helper(); }
+
+}  // namespace fix
+"""
+
+FIXTURE_CONF = """\
+[layers]
+fix:
+[hotpath]
+*/fix.dir/fix.cpp.o :: ^fix::Engine::hot_step\\(
+[entrypoints]
+^fix::run_sim\\(
+""" + BANNED_SECTIONS
+
+
+class CompiledFixtureTest(unittest.TestCase):
+    """End-to-end: compile a fixture at -O2 and run the real objdump /
+    c++filt pipeline over it. Demonstrates the hotpath pass catching a
+    seeded `operator new` and the reach pass catching a seeded
+    wall-clock path in *emitted* code."""
+
+    @classmethod
+    def setUpClass(cls):
+        cls.cxx = shutil.which("c++") or shutil.which("g++")
+        if cls.cxx is None or shutil.which("objdump") is None:
+            raise unittest.SkipTest("c++/objdump not available")
+        tmp = Path(tempfile.mkdtemp(prefix="mpran_e2e_"))
+        cls.addClassCleanup(shutil.rmtree, tmp, ignore_errors=True)
+        cls.root = tmp / "root"
+        cls.build = tmp / "build"
+        src = cls.root / "src" / "fix" / "fix.cpp"
+        write_tree(cls.root, {"src/fix/fix.cpp": FIXTURE_CPP})
+        obj = cls.build / "src" / "fix" / "CMakeFiles" / "fix.dir" / "fix.cpp.o"
+        obj.parent.mkdir(parents=True)
+        cmd = [cls.cxx, "-O2", "-std=c++20", "-c", str(src), "-o", str(obj)]
+        subprocess.run(cmd, check=True, capture_output=True)
+        (cls.build / "compile_commands.json").write_text(
+            json.dumps(
+                [
+                    {
+                        "directory": str(cls.build),
+                        "command": " ".join(cmd),
+                        "file": str(src),
+                    }
+                ]
+            ),
+            encoding="utf-8",
+        )
+        cls.conf = tmp / "analyze.conf"
+        cls.conf.write_text(FIXTURE_CONF, encoding="utf-8")
+        cls.cfg = load_config(cls.conf)
+        cls.model = build_model(cls.build, cls.root)
+
+    def test_hotpath_catches_seeded_operator_new(self):
+        found = hotpath.run_pass(self.cfg, self.model)
+        allocs = by_rule(found, "hotpath.alloc")
+        self.assertTrue(allocs, f"expected hotpath.alloc, got {rules(found)}")
+        self.assertIn("fix::Engine::hot_step()", allocs[0].location)
+        self.assertIn("operator new", allocs[0].message)
+        # The manifest matched, so no missing-entry noise.
+        self.assertEqual(by_rule(found, "hotpath.missing"), [])
+
+    def test_reach_catches_seeded_wallclock_path(self):
+        found = reach.run_pass(self.cfg, self.model)
+        wall = by_rule(found, "reach.wallclock")
+        self.assertTrue(wall, f"expected reach.wallclock, got {rules(found)}")
+        path = wall[0].path
+        self.assertEqual(path[0], "fix::run_sim()")
+        self.assertEqual(path[-1], "time")
+        self.assertIn("fix::helper()", path)
+        self.assertEqual(by_rule(found, "reach.no-entry"), [])
+
+    def test_cli_end_to_end_reports_both_and_writes_json(self):
+        out_json = self.build / "findings.json"
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(ANALYZE),
+                "--root",
+                str(self.root),
+                "--build",
+                str(self.build),
+                "--config",
+                str(self.conf),
+                "--json",
+                str(out_json),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        report = json.loads(out_json.read_text(encoding="utf-8"))
+        self.assertFalse(report["clean"])
+        self.assertEqual(report["passes"], ["layering", "hotpath", "reach"])
+        got = {f["rule"] for f in report["findings"]}
+        self.assertIn("hotpath.alloc", got)
+        self.assertIn("reach.wallclock", got)
+
+
+class CliTest(unittest.TestCase):
+    """CLI exit-code contract on layering-only fixtures (no build)."""
+
+    def setUp(self):
+        self.tmp = Path(tempfile.mkdtemp(prefix="mpran_cli_"))
+        self.addCleanup(shutil.rmtree, self.tmp, ignore_errors=True)
+        self.conf = self.tmp / "analyze.conf"
+        self.conf.write_text(LAYERS_AB, encoding="utf-8")
+
+    def run_cli(self, *extra, sup_text=None):
+        argv = [
+            sys.executable,
+            str(ANALYZE),
+            "--root",
+            str(self.tmp),
+            "--config",
+            str(self.conf),
+        ]
+        if sup_text is not None:
+            sup = self.tmp / "sup.txt"
+            sup.write_text(sup_text, encoding="utf-8")
+            argv += ["--suppressions", str(sup)]
+        argv += list(extra)
+        return subprocess.run(argv, capture_output=True, text=True)
+
+    def test_clean_tree_exits_zero(self):
+        write_tree(
+            self.tmp,
+            {"src/a/x.h": "#pragma once\n", "src/a/x.cpp": '#include "a/x.h"\n'},
+        )
+        proc = self.run_cli("layering")
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("mpr_analyze: clean (layering)", proc.stdout)
+
+    def test_seeded_cycle_exits_one_with_path(self):
+        write_tree(
+            self.tmp,
+            {
+                "src/a/p.h": '#include "a/q.h"\n',
+                "src/a/q.h": '#include "a/p.h"\n',
+                "src/a/use.cpp": '#include "a/p.h"\n',
+            },
+        )
+        proc = self.run_cli("layering")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("[layering.cycle]", proc.stdout)
+        self.assertIn("src/a/q.h", proc.stdout)
+
+    def test_suppressed_cycle_exits_zero(self):
+        write_tree(
+            self.tmp,
+            {
+                "src/a/p.h": '#include "a/q.h"\n',
+                "src/a/q.h": '#include "a/p.h"\n',
+                "src/a/use.cpp": '#include "a/p.h"\n',
+            },
+        )
+        proc = self.run_cli(
+            "layering",
+            sup_text="layering.cycle | src/a/p.h | fixture tangle, tracked\n",
+        )
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("suppressed", proc.stdout)
+
+    def test_unused_suppression_exits_one(self):
+        write_tree(
+            self.tmp,
+            {"src/a/x.h": "#pragma once\n", "src/a/x.cpp": '#include "a/x.h"\n'},
+        )
+        proc = self.run_cli(
+            "layering", sup_text="layering.cycle | src/never/* | stale\n"
+        )
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("meta.unused-suppression", proc.stdout)
+
+    def test_unknown_pass_exits_two(self):
+        proc = self.run_cli("warp")
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("unknown pass", proc.stderr)
+
+    def test_missing_build_dir_exits_two(self):
+        write_tree(self.tmp, {"src/a/x.cpp": "\n"})
+        proc = self.run_cli("hotpath", "--build", str(self.tmp / "nobuild"))
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("compile_commands.json", proc.stderr)
+
+
+class RepoConfigTest(unittest.TestCase):
+    """The checked-in config must stay loadable and structurally sane."""
+
+    def test_repo_config_loads(self):
+        cfg = load_config(TOOLS_DIR / "mpr_analyze.conf")
+        self.assertIn("sim", cfg.layers)
+        self.assertIn("experiment", cfg.layers)
+        self.assertTrue(cfg.hotpath)
+        self.assertTrue(cfg.entrypoints)
+        for section in ("banned-time", "banned-rand", "banned-alloc", "banned-throw"):
+            self.assertTrue(cfg.banned[section], f"[{section}] is empty")
+        # Every hotpath regex must be ^-anchored (see the conf header for
+        # why: unanchored owner names match their cold allocator templates).
+        for entry in cfg.hotpath:
+            self.assertTrue(
+                entry.symbol_re.pattern.startswith("^"),
+                f"manifest line {entry.line} not ^-anchored",
+            )
+
+    def test_repo_suppression_file_parses(self):
+        load_suppressions(TOOLS_DIR / "mpr_analyze_suppressions.txt")
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -239,6 +239,89 @@ class AllowEscapeHatch(LintFixture):
         self.assertIn("rand", rules)
 
 
+class TokenizerHardening(LintFixture):
+    def test_digit_separator_does_not_open_char_literal(self):
+        # A naive scanner treats the ' in 1'000'000 as a char-literal open and
+        # blanks the rest of the line — hiding the rand() call.
+        rules, _ = self.lint("int r = f(1'000'000) + rand();\n")
+        self.assertIn("rand", rules)
+
+    def test_digit_separator_in_hex_literal(self):
+        rules, _ = self.lint("auto m = 0xFFFF'FFFFu; int r = rand();\n")
+        self.assertIn("rand", rules)
+
+    def test_digit_separator_does_not_leak_across_lines(self):
+        # If the ' opened a char state, the next line's string close would
+        # flip code/string parity and surface the literal's contents.
+        rules, _ = self.lint(
+            "constexpr int kNs = 16'000'000;\n"
+            'const char* kMsg = "rand() inside a string";\n'
+        )
+        self.assertEqual(rules, [])
+
+    def test_prefixed_char_literal_still_blanked(self):
+        # u8'x' is a char literal, not a digit separator: its contents must
+        # not reach the rules, and the line keeps scanning after it.
+        rules, _ = self.lint("auto c = u8'('; int r = rand();\n")
+        self.assertIn("rand", rules)
+
+    def test_raw_string_contents_blanked(self):
+        rules, _ = self.lint('const char* re = R"(rand\\(\\) new Packet)";\n')
+        self.assertEqual(rules, [])
+
+    def test_raw_string_with_delimiter_and_embedded_quote(self):
+        # The )" inside must not close the literal; only )delim" does.
+        rules, _ = self.lint(
+            'const char* s = R"x(quote " and close )" still inside)x";\n'
+            "int r = rand();\n"
+        )
+        self.assertEqual(sorted(set(rules)), ["rand"])
+
+    def test_multiline_raw_string_blanked_with_layout_kept(self):
+        _, findings = self.lint(
+            'const char* kUsage = R"(line one\nrand() on line two\n)";\n'
+            "int r = rand();\n"
+        )
+        self.assertEqual([(f.rule, f.line) for f in findings], [("rand", 4)])
+
+    def test_identifier_ending_in_r_is_not_raw_prefix(self):
+        # MACRO_R"..." is token-pasting soup, not a raw string: the quote
+        # must open a plain string (and its rand() stays hidden).
+        rules, _ = self.lint('auto s = MACRO_R"(rand())";\n')
+        self.assertEqual(rules, [])
+
+
+class MultiLineStatementAllow(LintFixture):
+    def test_allow_trailing_multiline_statement(self):
+        # The finding fires on the first physical line; the allow() rides the
+        # statement's last line, after the closing brace-initializer.
+        rules, _ = self.lint(
+            "std::map<std::uint64_t,\n"
+            "         SegInfo>\n"
+            "    unacked_;  // mpr-lint: allow(ordered-container)\n",
+            rel="tcp/ep.h",
+        )
+        self.assertEqual(rules, [])
+
+    def test_allow_on_intermediate_continuation_line(self):
+        rules, _ = self.lint(
+            "std::map<std::uint64_t,  // mpr-lint: allow(ordered-container)\n"
+            "         SegInfo> unacked_;\n",
+            rel="tcp/ep.h",
+        )
+        self.assertEqual(rules, [])
+
+    def test_forward_scan_stops_at_statement_end(self):
+        # The allow() belongs to the *next* statement; the finding's own
+        # statement ended on its line, so it must still fire.
+        rules, _ = self.lint(
+            "std::map<int, int> m_;\n"
+            "int x_;  // mpr-lint: allow(ordered-container)\n",
+            rel="tcp/ep.h",
+        )
+        self.assertIn("ordered-container", rules)
+
+
 class CommentAndStringNoise(LintFixture):
     def test_comment_mentions_not_flagged(self):
         rules, _ = self.lint(
